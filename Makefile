@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet bench examples experiments-small experiments-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure, plus substrate benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/predator_prey
+	$(GO) run ./examples/prioritized
+	$(GO) run ./examples/layout_reorg
+	$(GO) run ./examples/deception
+
+# Regenerate every paper table/figure (see EXPERIMENTS.md).
+experiments-small:
+	$(GO) run ./cmd/marl-bench -exp all -scale small
+
+experiments-full:
+	$(GO) run ./cmd/marl-bench -exp all -scale full
+
+clean:
+	$(GO) clean ./...

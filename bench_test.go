@@ -1,0 +1,503 @@
+package marlperf
+
+// Benchmark harness: one benchmark (or benchmark family) per table and
+// figure of the paper's evaluation, each exercising the operation that
+// experiment measures. The paper-style row/series output is produced by
+// `go run ./cmd/marl-bench -exp <id>`; these benches track the same code
+// paths under `go test -bench`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"marlperf/internal/core"
+	"marlperf/internal/mpe"
+	"marlperf/internal/nn"
+	"marlperf/internal/replay"
+	"marlperf/internal/simcache"
+	"marlperf/internal/tensor"
+)
+
+// benchTrainer builds a trainer with a warm, prefilled buffer so each
+// benchmark iteration exercises steady-state behaviour.
+func benchTrainer(b *testing.B, algo core.Algorithm, env mpe.Env, sampler core.SamplerKind, neighbors, refs int, useKV bool) *core.Trainer {
+	b.Helper()
+	cfg := core.DefaultConfig(algo)
+	cfg.BatchSize = 256
+	cfg.BufferCapacity = 8192
+	cfg.WarmupSize = 256
+	cfg.Sampler = sampler
+	cfg.Neighbors, cfg.Refs = neighbors, refs
+	cfg.UseKVLayout = useKV
+	tr, err := core.NewTrainer(cfg, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Warmup(512)
+	return tr
+}
+
+// benchBuffer builds a filled replay buffer for sampling benchmarks.
+func benchBuffer(b *testing.B, agents, fill int) (*replay.Buffer, []*replay.AgentBatch, int) {
+	b.Helper()
+	env := mpe.NewPredatorPrey(agents)
+	spec := replay.Spec{
+		NumAgents: agents,
+		ObsDims:   env.ObsDims(),
+		ActDim:    env.NumActions(),
+		Capacity:  fill,
+	}
+	buf := replay.NewBuffer(spec)
+	rng := rand.New(rand.NewSource(1))
+	obs := make([][]float64, agents)
+	act := make([][]float64, agents)
+	rew := make([]float64, agents)
+	nextObs := make([][]float64, agents)
+	done := make([]float64, agents)
+	for a := 0; a < agents; a++ {
+		obs[a] = make([]float64, spec.ObsDims[a])
+		nextObs[a] = make([]float64, spec.ObsDims[a])
+		act[a] = make([]float64, spec.ActDim)
+	}
+	for t := 0; t < fill; t++ {
+		for a := 0; a < agents; a++ {
+			for j := range obs[a] {
+				obs[a][j] = rng.Float64()
+			}
+			act[a][t%spec.ActDim] = 1
+			rew[a] = rng.NormFloat64()
+		}
+		buf.Add(obs, act, rew, nextObs, done)
+	}
+	batches := make([]*replay.AgentBatch, agents)
+	for a := range batches {
+		batches[a] = replay.NewAgentBatch(1024, spec.ObsDims[a], spec.ActDim)
+	}
+	return buf, batches, 1024
+}
+
+// BenchmarkTable1EndToEnd tracks Table I: one steady-state environment step
+// (action selection + env + replay, with periodic updates) per workload.
+func BenchmarkTable1EndToEnd(b *testing.B) {
+	cases := []struct {
+		name string
+		algo core.Algorithm
+		env  func() mpe.Env
+	}{
+		{"maddpg-pp3", core.MADDPG, func() mpe.Env { return mpe.NewPredatorPrey(3) }},
+		{"maddpg-cn3", core.MADDPG, func() mpe.Env { return mpe.NewCooperativeNavigation(3) }},
+		{"matd3-pp3", core.MATD3, func() mpe.Env { return mpe.NewPredatorPrey(3) }},
+		{"matd3-cn3", core.MATD3, func() mpe.Env { return mpe.NewCooperativeNavigation(3) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			tr := benchTrainer(b, c.algo, c.env(), core.SamplerUniform, 0, 0, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkFig2Breakdown tracks Figure 2: a full update-all-trainers stage
+// (the dominant phase) for MADDPG predator-prey.
+func BenchmarkFig2Breakdown(b *testing.B) {
+	tr := benchTrainer(b, core.MADDPG, mpe.NewPredatorPrey(3), core.SamplerUniform, 0, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.UpdateAllTrainers()
+	}
+}
+
+// BenchmarkFig3UpdateBreakdown tracks Figure 3: the update stage on the
+// cooperative workload (phases are timed inside the trainer).
+func BenchmarkFig3UpdateBreakdown(b *testing.B) {
+	tr := benchTrainer(b, core.MATD3, mpe.NewCooperativeNavigation(3), core.SamplerUniform, 0, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.UpdateAllTrainers()
+	}
+}
+
+// BenchmarkFig4Counters tracks Figure 4: one sampling phase traced through
+// the simulated Ryzen/RTX-3090 cache hierarchy.
+func BenchmarkFig4Counters(b *testing.B) {
+	buf, batches, batch := benchBuffer(b, 3, 8192)
+	h := simcache.NewHierarchy(simcache.Ryzen3975WX())
+	buf.SetTracer(h)
+	sampler := replay.NewUniformSampler(buf)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sampler.Sample(batch, rng)
+		buf.GatherAll(s.Indices, batches)
+	}
+}
+
+// BenchmarkFig6Scalability tracks Figure 6: the update stage as agents
+// scale (the super-linear growth driver).
+func BenchmarkFig6Scalability(b *testing.B) {
+	for _, n := range []int{3, 6, 12} {
+		b.Run(benchName("agents", n), func(b *testing.B) {
+			tr := benchTrainer(b, core.MADDPG, mpe.NewPredatorPrey(n), core.SamplerUniform, 0, 0, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.UpdateAllTrainers()
+			}
+		})
+	}
+}
+
+// BenchmarkFig8SamplingReduction tracks Figure 8: one full sampling phase
+// (N agent trainers × sample + gather) per strategy.
+func BenchmarkFig8SamplingReduction(b *testing.B) {
+	const agents = 6
+	buf, batches, batch := benchBuffer(b, agents, 20000)
+	rng := rand.New(rand.NewSource(3))
+	for _, v := range []struct {
+		name    string
+		sampler replay.Sampler
+	}{
+		{"uniform", replay.NewUniformSampler(buf)},
+		{"n16r64", replay.NewLocalitySampler(buf, 16, 64)},
+		{"n64r16", replay.NewLocalitySampler(buf, 64, 16)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for trainer := 0; trainer < agents; trainer++ {
+					s := v.sampler.Sample(batch, rng)
+					buf.GatherAll(s.Indices, batches)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9EndToEnd tracks Figure 9: one steady-state training step
+// with the baseline and the cache-aware sampler.
+func BenchmarkFig9EndToEnd(b *testing.B) {
+	for _, v := range []struct {
+		name      string
+		kind      core.SamplerKind
+		neighbors int
+		refs      int
+	}{
+		{"uniform", core.SamplerUniform, 0, 0},
+		{"locality-n16r64", core.SamplerLocality, 16, 64},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tr := benchTrainer(b, core.MADDPG, mpe.NewPredatorPrey(3), v.kind, v.neighbors, v.refs, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Rewards tracks Figure 10: the per-episode training cost of
+// the reward-parity runs (baseline vs cache-aware).
+func BenchmarkFig10Rewards(b *testing.B) {
+	for _, v := range []struct {
+		name      string
+		kind      core.SamplerKind
+		neighbors int
+		refs      int
+	}{
+		{"baseline", core.SamplerUniform, 0, 0},
+		{"n16r64", core.SamplerLocality, 16, 64},
+		{"n64r16", core.SamplerLocality, 64, 16},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tr := benchTrainer(b, core.MADDPG, mpe.NewCooperativeNavigation(3), v.kind, v.neighbors, v.refs, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.RunEpisodes(1, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11IPRewards tracks Figure 11: one prioritized sampling phase
+// including the TD-error priority refresh, PER vs IP.
+func BenchmarkFig11IPRewards(b *testing.B) {
+	const agents = 3
+	buf, batches, batch := benchBuffer(b, agents, 20000)
+	rng := rand.New(rand.NewSource(4))
+	td := make([]float64, batch)
+	for i := range td {
+		td[i] = rng.Float64()
+	}
+	for _, v := range []struct {
+		name    string
+		sampler replay.PrioritySampler
+	}{
+		{"per", replay.NewPERSampler(buf)},
+		{"ip-locality", replay.NewIPLocalitySampler(buf, 1)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for trainer := 0; trainer < agents; trainer++ {
+					s := v.sampler.Sample(batch, rng)
+					buf.GatherAll(s.Indices, batches)
+					v.sampler.UpdatePriorities(s.Indices, td[:len(s.Indices)])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12CPUOnly and BenchmarkFig13CPUGPU track Figures 12-13: a
+// traced sampling phase through each cross-validation platform model.
+func BenchmarkFig12CPUOnly(b *testing.B) { benchPlatform(b, simcache.I79700K()) }
+func BenchmarkFig13CPUGPU(b *testing.B)  { benchPlatform(b, simcache.GTX1070()) }
+func benchPlatform(b *testing.B, p simcache.Platform) {
+	buf, batches, batch := benchBuffer(b, 3, 8192)
+	h := simcache.NewHierarchy(p)
+	buf.SetTracer(h)
+	sampler := replay.NewLocalitySampler(buf, 16, 64)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sampler.Sample(batch, rng)
+		buf.GatherAll(s.Indices, batches)
+		_ = p.ModeledTimeNS(h.Stats(), 0)
+	}
+}
+
+// BenchmarkFig14LayoutReorg tracks Figure 14: the three legs of the layout
+// comparison — baseline scattered gather, KV row gather, and the reshaping
+// pass.
+func BenchmarkFig14LayoutReorg(b *testing.B) {
+	const agents = 6
+	buf, batches, batch := benchBuffer(b, agents, 20000)
+	kv := replay.NewKVBuffer(buf.Spec())
+	kv.ReorganizeFrom(buf)
+	rng := rand.New(rand.NewSource(6))
+	indices := replay.NewUniformSampler(buf).Sample(batch, rng).Indices
+	rows := make([]float64, batch*kv.RowStride())
+
+	b.Run("baseline-gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf.GatherAll(indices, batches)
+		}
+	})
+	b.Run("kv-row-gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kv.GatherRows(indices, rows)
+		}
+	})
+	b.Run("kv-reshape", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kv.SplitRows(rows, batch, batches)
+		}
+	})
+	b.Run("kv-fused-gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kv.GatherAll(indices, batches)
+		}
+	})
+}
+
+// BenchmarkAblationNeighborSweep sweeps the neighbor/reference trade-off of
+// DESIGN.md's first ablation.
+func BenchmarkAblationNeighborSweep(b *testing.B) {
+	const agents = 6
+	buf, batches, batch := benchBuffer(b, agents, 20000)
+	rng := rand.New(rand.NewSource(7))
+	for _, neigh := range []int{4, 16, 64, 256} {
+		b.Run(benchName("n", neigh), func(b *testing.B) {
+			s := replay.NewLocalitySampler(buf, neigh, batch/neigh)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sample := s.Sample(batch, rng)
+				buf.GatherAll(sample.Indices, batches)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIPThresholds compares the adaptive predictor against
+// fixed neighbor counts (DESIGN.md's second ablation).
+func BenchmarkAblationIPThresholds(b *testing.B) {
+	buf, batches, batch := benchBuffer(b, 3, 20000)
+	rng := rand.New(rand.NewSource(8))
+	for _, v := range []struct {
+		name string
+		p    replay.NeighborPredictor
+	}{
+		{"adaptive", replay.DefaultNeighborPredictor()},
+		{"fixed1", replay.NeighborPredictor{Neighbors: []int{1}}},
+		{"fixed4", replay.NeighborPredictor{Neighbors: []int{4}}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s := replay.NewIPLocalitySampler(buf, 1)
+			s.Predictor = v.p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sample := s.Sample(batch, rng)
+				buf.GatherAll(sample.Indices, batches)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEpisodeAware compares plain locality sampling against
+// the episode-boundary-aware variant.
+func BenchmarkAblationEpisodeAware(b *testing.B) {
+	buf, batches, batch := benchBuffer(b, 3, 20000)
+	rng := rand.New(rand.NewSource(15))
+	for _, v := range []struct {
+		name    string
+		sampler replay.Sampler
+	}{
+		{"plain", replay.NewLocalitySampler(buf, 16, batch/16)},
+		{"episode-aware", replay.NewEpisodeAwareLocalitySampler(buf, 16, batch/16)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := v.sampler.Sample(batch, rng)
+				buf.GatherAll(s.Indices, batches)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRankPER compares the two prioritized-replay variants'
+// sampling cost (sum-tree proportional vs sorted rank-based).
+func BenchmarkAblationRankPER(b *testing.B) {
+	buf, batches, batch := benchBuffer(b, 3, 20000)
+	rng := rand.New(rand.NewSource(14))
+	for _, v := range []struct {
+		name    string
+		sampler replay.PrioritySampler
+	}{
+		{"proportional", replay.NewPERSampler(buf)},
+		{"rank-based", replay.NewRankPERSampler(buf)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			td := make([]float64, batch)
+			for i := range td {
+				td[i] = rng.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := v.sampler.Sample(batch, rng)
+				buf.GatherAll(s.Indices, batches)
+				v.sampler.UpdatePriorities(s.Indices, td[:len(s.Indices)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationISBeta measures the weight-computation overhead of the
+// Lemma-1 compensation (DESIGN.md's fourth ablation).
+func BenchmarkAblationISBeta(b *testing.B) {
+	buf, _, batch := benchBuffer(b, 3, 20000)
+	rng := rand.New(rand.NewSource(9))
+	for _, beta := range []float64{0, 1} {
+		b.Run(benchName("beta", int(beta*10)), func(b *testing.B) {
+			s := replay.NewIPLocalitySampler(buf, beta)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Sample(batch, rng)
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkCriticForward measures the centralized critic's forward pass at
+// the paper's batch size for a 6-agent joint input.
+func BenchmarkCriticForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	env := mpe.NewPredatorPrey(6)
+	joint := 0
+	for _, d := range env.ObsDims() {
+		joint += d
+	}
+	joint += 6 * env.NumActions()
+	net := nn.NewMLP(rng, joint, 64, 64, 1)
+	x := tensor.New(1024, joint)
+	x.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkEnvStep measures one physics step of each particle scenario.
+func BenchmarkEnvStep(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		env  mpe.Env
+	}{
+		{"pp6", mpe.NewPredatorPrey(6)},
+		{"cn6", mpe.NewCooperativeNavigation(6)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			v.env.Reset(rng)
+			actions := make([]int, v.env.NumAgents())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range actions {
+					actions[j] = i % v.env.NumActions()
+				}
+				v.env.Step(actions)
+			}
+		})
+	}
+}
+
+// BenchmarkSumTree measures the PER priority structure's hot operations.
+func BenchmarkSumTree(b *testing.B) {
+	tree := replay.NewSumTree(1 << 20)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 1<<20; i++ {
+		tree.Set(i, rng.Float64())
+	}
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Set(i&(1<<20-1), float64(i&1023))
+		}
+	})
+	b.Run("find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tree.Find(rng.Float64() * tree.Total())
+		}
+	})
+}
+
+// BenchmarkCacheSimAccess measures the trace simulator's per-access cost.
+func BenchmarkCacheSimAccess(b *testing.B) {
+	h := simcache.NewHierarchy(simcache.Ryzen3975WX())
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(rng.Uint64()%(1<<32), 128)
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,80 @@
+// Command marl-bench regenerates the paper's tables and figures. Each
+// experiment prints the measured rows next to the paper's reference values
+// so shape agreement can be checked directly.
+//
+// Usage:
+//
+//	marl-bench -list
+//	marl-bench -exp fig8 [-scale small|full]
+//	marl-bench -exp all  [-scale small|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"marlperf/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (table1, fig2…fig14, ablation-*) or 'all'")
+		scale  = flag.String("scale", "small", "measurement scale: small or full")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		format = flag.String("format", "text", "output format: text or md")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-20s %s\n", r.ID, r.Description)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: marl-bench -exp <id> [-scale small|full]")
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.SmallScale()
+	case "full":
+		s = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var runners []*experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			r := experiments.Get(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(s)
+		if *format == "md" {
+			fmt.Printf("## %s — %s (scale=%s)\n\n", r.ID, r.Description, s.Name)
+			fmt.Println(res.Markdown())
+		} else {
+			fmt.Printf("### %s — %s (scale=%s)\n", r.ID, r.Description, s.Name)
+			fmt.Println(res.String())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,153 @@
+// Command marl-train trains one MARL configuration end to end and reports
+// reward progress plus the phase-time breakdown.
+//
+// Usage:
+//
+//	marl-train -env pp -algo maddpg -agents 6 -episodes 200 -sampler locality -neighbors 16 -refs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"marlperf"
+	"marlperf/internal/mpe"
+	"marlperf/internal/plot"
+)
+
+func main() {
+	var (
+		envName   = flag.String("env", "cn", "environment: pp (predator-prey), cn (cooperative navigation), pd (physical deception)")
+		algoName  = flag.String("algo", "maddpg", "algorithm: maddpg or matd3")
+		agents    = flag.Int("agents", 3, "number of trainable agents")
+		episodes  = flag.Int("episodes", 100, "episodes to train")
+		sampler   = flag.String("sampler", "uniform", "sampler: uniform, locality, per, ip")
+		neighbors = flag.Int("neighbors", 16, "locality sampler: neighbor run length")
+		refs      = flag.Int("refs", 64, "locality sampler: reference points")
+		batch     = flag.Int("batch", 1024, "mini-batch size")
+		buffer    = flag.Int("buffer", 100_000, "replay capacity")
+		kvLayout  = flag.Bool("kv", false, "enable key-value data-layout reorganization")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		logEvery  = flag.Int("log-every", 20, "episodes between progress lines")
+		savePath  = flag.String("save", "", "write a checkpoint here after training")
+		loadPath  = flag.String("load", "", "restore a checkpoint before training")
+		evalEps   = flag.Int("eval", 0, "greedy evaluation episodes after training")
+		render    = flag.Bool("render", false, "render the final world state as ASCII")
+	)
+	flag.Parse()
+
+	var env marlperf.Env
+	switch *envName {
+	case "pp":
+		env = marlperf.NewPredatorPrey(*agents)
+	case "cn":
+		env = marlperf.NewCooperativeNavigation(*agents)
+	case "pd":
+		env = marlperf.NewPhysicalDeception(*agents)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown env %q (want pp, cn or pd)\n", *envName)
+		os.Exit(2)
+	}
+
+	algo := marlperf.MADDPG
+	if *algoName == "matd3" {
+		algo = marlperf.MATD3
+	} else if *algoName != "maddpg" {
+		fmt.Fprintf(os.Stderr, "unknown algo %q (want maddpg or matd3)\n", *algoName)
+		os.Exit(2)
+	}
+
+	cfg := marlperf.DefaultConfig(algo)
+	cfg.BatchSize = *batch
+	cfg.BufferCapacity = *buffer
+	cfg.UseKVLayout = *kvLayout
+	cfg.Seed = *seed
+	cfg.Neighbors = *neighbors
+	cfg.Refs = *refs
+	switch *sampler {
+	case "uniform":
+		cfg.Sampler = marlperf.SamplerUniform
+	case "locality":
+		cfg.Sampler = marlperf.SamplerLocality
+	case "per":
+		cfg.Sampler = marlperf.SamplerPER
+	case "ip":
+		cfg.Sampler = marlperf.SamplerIPLocality
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sampler %q\n", *sampler)
+		os.Exit(2)
+	}
+
+	tr, err := marlperf.NewTrainer(cfg, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.LoadCheckpoint(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "loading checkpoint:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("restored checkpoint from %s (%d steps, %d updates)\n", *loadPath, tr.TotalSteps(), tr.UpdateCount())
+	}
+
+	fmt.Printf("training %s on %s with %d agents, sampler=%s, batch=%d, %d episodes\n",
+		*algoName, env.Name(), *agents, *sampler, *batch, *episodes)
+	start := time.Now()
+	var window float64
+	count := 0
+	var curve []float64
+	tr.RunEpisodes(*episodes, func(ep int, reward float64) {
+		window += reward
+		count++
+		if ep%*logEvery == 0 {
+			mean := window / float64(count)
+			curve = append(curve, mean)
+			fmt.Printf("episode %6d  mean reward %10.2f  updates %d  elapsed %v\n",
+				ep, mean, tr.UpdateCount(), time.Since(start).Round(time.Millisecond))
+			window, count = 0, 0
+		}
+	})
+	fmt.Printf("\ndone in %v (%d env steps, %d updates)\n\n",
+		time.Since(start).Round(time.Millisecond), tr.TotalSteps(), tr.UpdateCount())
+	if len(curve) > 1 {
+		fmt.Printf("reward trend: %s\n\n", plot.Sparkline(curve))
+	}
+	fmt.Print(tr.Profile().Report())
+
+	if *evalEps > 0 {
+		fmt.Printf("\ngreedy evaluation over %d episodes: mean reward %.2f\n", *evalEps, tr.Evaluate(*evalEps))
+	}
+	if *render {
+		if w, ok := env.(interface{ World() *mpe.World }); ok {
+			fmt.Println("\nfinal world state (P=predator/adversary, p=prey, A=agent, o=landmark):")
+			fmt.Print(mpe.RenderASCII(w.World(), 60, 1.5))
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.SaveCheckpoint(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "saving checkpoint:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+}

@@ -1,0 +1,70 @@
+// Predator-Prey with cache-locality-aware sampling: trains the competitive
+// tag scenario twice — once with the baseline uniform sampler and once with
+// the paper's Algorithm 1 (16 neighbors × 64 reference points) — and
+// compares wall time, the sampling phase, and the learned rewards.
+//
+//	go run ./examples/predator_prey
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"marlperf"
+	"marlperf/internal/profiler"
+)
+
+const (
+	agents   = 3
+	episodes = 80
+)
+
+func train(label string, sampler marlperf.SamplerKind, neighbors, refs int) (time.Duration, time.Duration, float64) {
+	env := marlperf.NewPredatorPrey(agents)
+	cfg := marlperf.DefaultConfig(marlperf.MADDPG)
+	cfg.BatchSize = 256
+	cfg.BufferCapacity = 10_000
+	cfg.Sampler = sampler
+	cfg.Neighbors, cfg.Refs = neighbors, refs
+
+	tr, err := marlperf.NewTrainer(cfg, env)
+	if err != nil {
+		panic(err)
+	}
+	var lastWindow float64
+	count := 0
+	start := time.Now()
+	tr.RunEpisodes(episodes, func(ep int, reward float64) {
+		lastWindow += reward
+		count++
+		if count == 20 {
+			lastWindow, count = lastWindow/20, 0
+			fmt.Printf("  [%s] episode %4d  mean reward %8.2f\n", label, ep, lastWindow)
+			lastWindow = 0
+		}
+	})
+	total := time.Since(start)
+	sampling := tr.Profile().Duration(profiler.PhaseSampling)
+	return total, sampling, tr.LastEpisodeReward()
+}
+
+func main() {
+	fmt.Printf("predator-prey, %d predators, %d episodes per run\n\n", agents, episodes)
+
+	fmt.Println("baseline MADDPG (uniform random mini-batch sampling):")
+	baseTotal, baseSampling, baseReward := train("baseline", marlperf.SamplerUniform, 0, 0)
+
+	fmt.Println("\ncache-aware MADDPG (16 neighbors x 64 reference points):")
+	optTotal, optSampling, optReward := train("cache-aware", marlperf.SamplerLocality, 16, 64)
+
+	fmt.Printf("\n%-28s %12s %12s\n", "", "baseline", "cache-aware")
+	fmt.Printf("%-28s %12v %12v\n", "total training time", baseTotal.Round(time.Millisecond), optTotal.Round(time.Millisecond))
+	fmt.Printf("%-28s %12v %12v\n", "mini-batch sampling phase", baseSampling.Round(time.Millisecond), optSampling.Round(time.Millisecond))
+	fmt.Printf("%-28s %11.1f%% \n", "sampling-phase reduction",
+		100*(baseSampling.Seconds()-optSampling.Seconds())/baseSampling.Seconds())
+	fmt.Printf("%-28s %11.1f%% \n", "end-to-end reduction",
+		100*(baseTotal.Seconds()-optTotal.Seconds())/baseTotal.Seconds())
+	fmt.Printf("%-28s %12.2f %12.2f\n", "final episode reward", baseReward, optReward)
+	fmt.Println("\nthe paper reports 28-38% sampling-phase and 8-20% end-to-end reductions")
+	fmt.Println("(Figures 8-9), growing with agent count, while rewards track the baseline.")
+}

@@ -1,0 +1,70 @@
+// Prioritized sampling comparison: PER-MADDPG (the proportional
+// prioritized-replay baseline) against the paper's information-prioritized
+// locality-aware sampler, which picks reference points by priority,
+// expands them into 1/2/4 contiguous neighbors via the threshold predictor,
+// and corrects the induced bias with Lemma-1 importance weights.
+//
+//	go run ./examples/prioritized
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"marlperf"
+	"marlperf/internal/profiler"
+)
+
+const (
+	agents   = 3
+	episodes = 80
+)
+
+func train(label string, sampler marlperf.SamplerKind) (time.Duration, []float64) {
+	env := marlperf.NewCooperativeNavigation(agents)
+	cfg := marlperf.DefaultConfig(marlperf.MADDPG)
+	cfg.BatchSize = 256
+	cfg.BufferCapacity = 10_000
+	cfg.Sampler = sampler
+	cfg.ISBeta = 1 // full Lemma-1 compensation
+
+	tr, err := marlperf.NewTrainer(cfg, env)
+	if err != nil {
+		panic(err)
+	}
+	var curve []float64
+	var acc float64
+	count := 0
+	tr.RunEpisodes(episodes, func(ep int, reward float64) {
+		acc += reward
+		count++
+		if count == 20 {
+			curve = append(curve, acc/20)
+			acc, count = 0, 0
+		}
+	})
+	return tr.Profile().Duration(profiler.PhaseSampling), curve
+}
+
+func main() {
+	fmt.Printf("cooperative navigation, %d agents, %d episodes per run\n\n", agents, episodes)
+
+	perSampling, perCurve := train("per", marlperf.SamplerPER)
+	ipSampling, ipCurve := train("ip", marlperf.SamplerIPLocality)
+
+	fmt.Println("mean episode reward (20-episode windows):")
+	fmt.Printf("%-10s %12s %12s\n", "episodes", "PER-MADDPG", "IP-MADDPG")
+	for i := range perCurve {
+		ip := "-"
+		if i < len(ipCurve) {
+			ip = fmt.Sprintf("%12.2f", ipCurve[i])
+		}
+		fmt.Printf("%-10d %12.2f %12s\n", (i+1)*20, perCurve[i], ip)
+	}
+
+	fmt.Printf("\nsampling phase: PER %v, IP %v  (%.2fx speedup)\n",
+		perSampling.Round(time.Millisecond), ipSampling.Round(time.Millisecond),
+		perSampling.Seconds()/ipSampling.Seconds())
+	fmt.Println("\nthe paper reports IP tracking PER's reward curve while sampling ~2x")
+	fmt.Println("faster on average across 3-12 agents (Figure 11, §VI-C1).")
+}

@@ -1,0 +1,3 @@
+module marlperf
+
+go 1.22

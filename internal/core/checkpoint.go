@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"marlperf/internal/nn"
+)
+
+// Checkpoint format: magic "MARL" | uint32 version | uint8 algorithm |
+// uint32 numAgents | per agent: actor, target actor, critic1, target
+// critic1, (MATD3: critic2, target critic2) networks, then actor and
+// critic optimizers | uint64 totalSteps, updateCount, episodeCount.
+// The replay buffer and RNG stream are not serialized: a restored trainer
+// resumes learning from fresh experience with the learned parameters.
+
+const (
+	checkpointMagic   = "MARL"
+	checkpointVersion = 1
+)
+
+// SaveCheckpoint writes the trainer's learned state (all networks,
+// optimizer moments, progress counters).
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], checkpointVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(t.cfg.Algorithm)}); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(t.n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, ag := range t.agents {
+		nets := []*nn.Network{ag.actor, ag.targetActor, ag.critic1, ag.targetCritic1}
+		if ag.critic2 != nil {
+			nets = append(nets, ag.critic2, ag.targetCritic2)
+		}
+		for _, net := range nets {
+			if _, err := net.WriteTo(w); err != nil {
+				return err
+			}
+		}
+		opts := []*nn.Adam{ag.actorOpt, ag.critic1Opt}
+		if ag.critic2Opt != nil {
+			opts = append(opts, ag.critic2Opt)
+		}
+		for _, opt := range opts {
+			if _, err := opt.WriteTo(w); err != nil {
+				return err
+			}
+		}
+	}
+	var cnt [8]byte
+	for _, v := range []uint64{uint64(t.totalSteps), uint64(t.updateCount), uint64(t.episodeCount)} {
+		binary.LittleEndian.PutUint64(cnt[:], v)
+		if _, err := w.Write(cnt[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores state written by SaveCheckpoint into a trainer
+// built with the same algorithm, agent count and network architecture.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if string(magic[:]) != checkpointMagic {
+		return fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[:]); v != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	var algo [1]byte
+	if _, err := io.ReadFull(r, algo[:]); err != nil {
+		return err
+	}
+	if Algorithm(algo[0]) != t.cfg.Algorithm {
+		return fmt.Errorf("core: checkpoint algorithm %v, trainer has %v", Algorithm(algo[0]), t.cfg.Algorithm)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	if n := binary.LittleEndian.Uint32(hdr[:]); int(n) != t.n {
+		return fmt.Errorf("core: checkpoint has %d agents, trainer has %d", n, t.n)
+	}
+	for _, ag := range t.agents {
+		nets := []**nn.Network{&ag.actor, &ag.targetActor, &ag.critic1, &ag.targetCritic1}
+		if ag.critic2 != nil {
+			nets = append(nets, &ag.critic2, &ag.targetCritic2)
+		}
+		for _, slot := range nets {
+			restored, err := nn.ReadNetwork(r)
+			if err != nil {
+				return err
+			}
+			if restored.NumParams() != (*slot).NumParams() {
+				return fmt.Errorf("core: checkpoint network has %d params, trainer expects %d",
+					restored.NumParams(), (*slot).NumParams())
+			}
+			nn.HardCopy(*slot, restored)
+		}
+		// Optimizers are re-bound to the in-place networks, then their
+		// moment state is overwritten from the checkpoint.
+		ag.actorOpt = nn.NewAdam(ag.actor, t.cfg.LR)
+		ag.critic1Opt = nn.NewAdam(ag.critic1, t.cfg.LR)
+		opts := []*nn.Adam{ag.actorOpt, ag.critic1Opt}
+		if ag.critic2 != nil {
+			ag.critic2Opt = nn.NewAdam(ag.critic2, t.cfg.LR)
+			opts = append(opts, ag.critic2Opt)
+		}
+		for _, opt := range opts {
+			if err := opt.ReadInto(r); err != nil {
+				return err
+			}
+		}
+	}
+	var cnt [8]byte
+	vals := make([]uint64, 3)
+	for i := range vals {
+		if _, err := io.ReadFull(r, cnt[:]); err != nil {
+			return err
+		}
+		vals[i] = binary.LittleEndian.Uint64(cnt[:])
+	}
+	t.totalSteps = int(vals[0])
+	t.updateCount = int(vals[1])
+	t.episodeCount = int(vals[2])
+	return nil
+}

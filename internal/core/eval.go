@@ -1,0 +1,46 @@
+package core
+
+import (
+	"marlperf/internal/tensor"
+)
+
+// Evaluate runs n greedy episodes (argmax actions, no Gumbel exploration,
+// no training, no replay writes) and returns the mean episode reward
+// (summed per episode, averaged over agents and episodes). It resets the
+// environment first and leaves it reset afterwards, so interleaving
+// evaluation with training perturbs only the environment state, never the
+// learned parameters or the replay buffer.
+func (t *Trainer) Evaluate(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	obs := t.env.Reset(t.rng)
+	obsRow := tensor.New(1, 0)
+	actions := make([]int, t.n)
+	var total float64
+	for ep := 0; ep < n; ep++ {
+		var epReward float64
+		for step := 0; step < t.cfg.MaxEpisodeLen; step++ {
+			for i := 0; i < t.n; i++ {
+				obsRow.Rows, obsRow.Cols, obsRow.Data = 1, t.obsDims[i], obs[i]
+				logits := t.agents[i].actor.Forward(obsRow)
+				actions[i] = tensor.ArgMax(logits.Row(0))
+			}
+			var rewards []float64
+			obs, rewards = t.env.Step(actions)
+			var mean float64
+			for _, r := range rewards {
+				mean += r
+			}
+			epReward += mean / float64(t.n)
+		}
+		total += epReward
+		obs = t.env.Reset(t.rng)
+	}
+	// Restore the trainer's own observation pointer: training continues
+	// from the freshly reset environment.
+	t.obs = obs
+	t.epStep = 0
+	t.epRewardSum = 0
+	return total / float64(n)
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"marlperf/internal/mpe"
+	"marlperf/internal/nn"
+	"marlperf/internal/profiler"
+	"marlperf/internal/replay"
+	"marlperf/internal/tensor"
+)
+
+// Trainer runs the CTDE training loop of Figure 1: per-step action
+// selection through the decentralized actors, environment interaction,
+// replay storage, and the periodic "update all trainers" stage (mini-batch
+// sampling, target-Q calculation, Q-loss/P-loss backpropagation) whose
+// phases are individually timed.
+type Trainer struct {
+	cfg Config
+	env mpe.Env
+	rng *rand.Rand
+
+	n       int   // trainable agents
+	obsDims []int // per-agent observation widths
+	actDim  int
+
+	agents  []*agentNets
+	buf     *replay.Buffer
+	kv      *replay.KVBuffer
+	sampler replay.Sampler
+	prof    *profiler.Profile
+
+	// Episode state.
+	obs           [][]float64
+	epStep        int
+	epRewardSum   float64
+	episodeCount  int
+	lastEpReward  float64
+	totalSteps    int
+	sinceUpdate   int
+	updateCount   int
+	actorUpdCount int
+
+	// Joint-space layout: column offsets of each agent's observation and
+	// action block in the critic input [obs_1..obs_N, act_1..act_N].
+	jointDim   int
+	obsOffsets []int
+	actOffsets []int
+
+	// Preallocated scratch reused across updates.
+	batches     []*replay.AgentBatch
+	jointCur    *tensor.Matrix
+	jointNext   *tensor.Matrix
+	yTarget     *tensor.Matrix
+	qGrad       *tensor.Matrix
+	probsBuf    *tensor.Matrix
+	gradProbs   *tensor.Matrix
+	gradLogits  *tensor.Matrix
+	targetProbs []*tensor.Matrix
+	tdAbs       []float64
+	onesW       []float64
+	actionProbs [][]float64 // per-agent action vectors for the current step
+	actionIdx   []int
+}
+
+// NewTrainer builds a trainer for cfg over env, constructing all agent
+// networks, the replay storage, and the selected sampling strategy.
+func NewTrainer(cfg Config, env mpe.Env) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:     cfg,
+		env:     env,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		n:       env.NumAgents(),
+		obsDims: env.ObsDims(),
+		actDim:  env.NumActions(),
+		prof:    &profiler.Profile{},
+	}
+	if cfg.WarmupSize == 0 {
+		cfg.WarmupSize = cfg.BatchSize
+		t.cfg.WarmupSize = cfg.BatchSize
+	}
+
+	// Joint critic input layout.
+	t.obsOffsets = make([]int, t.n)
+	t.actOffsets = make([]int, t.n)
+	off := 0
+	for i, d := range t.obsDims {
+		t.obsOffsets[i] = off
+		off += d
+	}
+	for i := 0; i < t.n; i++ {
+		t.actOffsets[i] = off
+		off += t.actDim
+	}
+	t.jointDim = off
+
+	for i := 0; i < t.n; i++ {
+		t.agents = append(t.agents, newAgentNets(cfg, t.obsDims[i], t.actDim, t.jointDim, t.rng))
+	}
+
+	spec := replay.Spec{
+		NumAgents: t.n,
+		ObsDims:   t.obsDims,
+		ActDim:    t.actDim,
+		Capacity:  cfg.BufferCapacity,
+	}
+	t.buf = replay.NewBuffer(spec)
+	if cfg.UseKVLayout {
+		t.kv = replay.NewKVBuffer(spec)
+	}
+	switch cfg.Sampler {
+	case SamplerUniform:
+		t.sampler = replay.NewUniformSampler(t.buf)
+	case SamplerLocality:
+		t.sampler = replay.NewLocalitySampler(t.buf, cfg.Neighbors, cfg.Refs)
+	case SamplerPER:
+		t.sampler = replay.NewPERSampler(t.buf)
+	case SamplerIPLocality:
+		t.sampler = replay.NewIPLocalitySampler(t.buf, cfg.ISBeta)
+	case SamplerRankPER:
+		t.sampler = replay.NewRankPERSampler(t.buf)
+	case SamplerEpisodeLocality:
+		t.sampler = replay.NewEpisodeAwareLocalitySampler(t.buf, cfg.Neighbors, cfg.Refs)
+	default:
+		return nil, fmt.Errorf("core: unknown sampler %v", cfg.Sampler)
+	}
+
+	// Scratch allocations.
+	b := cfg.BatchSize
+	t.batches = make([]*replay.AgentBatch, t.n)
+	t.targetProbs = make([]*tensor.Matrix, t.n)
+	for i := 0; i < t.n; i++ {
+		t.batches[i] = replay.NewAgentBatch(b, t.obsDims[i], t.actDim)
+		t.targetProbs[i] = tensor.New(b, t.actDim)
+	}
+	t.jointCur = tensor.New(b, t.jointDim)
+	t.jointNext = tensor.New(b, t.jointDim)
+	t.yTarget = tensor.New(b, 1)
+	t.qGrad = tensor.New(b, 1)
+	t.probsBuf = tensor.New(b, t.actDim)
+	t.gradProbs = tensor.New(b, t.actDim)
+	t.gradLogits = tensor.New(b, t.actDim)
+	t.tdAbs = make([]float64, b)
+	t.onesW = make([]float64, b)
+	for i := range t.onesW {
+		t.onesW[i] = 1
+	}
+	t.actionProbs = make([][]float64, t.n)
+	for i := range t.actionProbs {
+		t.actionProbs[i] = make([]float64, t.actDim)
+	}
+	t.actionIdx = make([]int, t.n)
+
+	t.obs = env.Reset(t.rng)
+	return t, nil
+}
+
+// Config returns the trainer's configuration (with defaults resolved).
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Profile returns the phase-timing profile.
+func (t *Trainer) Profile() *profiler.Profile { return t.prof }
+
+// Buffer returns the baseline replay buffer.
+func (t *Trainer) Buffer() *replay.Buffer { return t.buf }
+
+// KVBuffer returns the key-value table, or nil when the layout
+// reorganization is disabled.
+func (t *Trainer) KVBuffer() *replay.KVBuffer { return t.kv }
+
+// Sampler returns the active sampling strategy.
+func (t *Trainer) Sampler() replay.Sampler { return t.sampler }
+
+// TotalSteps returns the number of environment steps taken.
+func (t *Trainer) TotalSteps() int { return t.totalSteps }
+
+// UpdateCount returns how many update-all-trainers stages have run.
+func (t *Trainer) UpdateCount() int { return t.updateCount }
+
+// EpisodeCount returns the number of completed episodes.
+func (t *Trainer) EpisodeCount() int { return t.episodeCount }
+
+// LastEpisodeReward returns the mean-over-agents summed reward of the most
+// recently completed episode.
+func (t *Trainer) LastEpisodeReward() float64 { return t.lastEpReward }
+
+// JointDim returns the centralized critic's input width.
+func (t *Trainer) JointDim() int { return t.jointDim }
+
+// Step advances the environment by one step (action selection, env
+// interaction, replay add) and runs update-all-trainers when due. It
+// returns true if an episode completed on this step.
+func (t *Trainer) Step() bool {
+	done := t.interact(true)
+	t.sinceUpdate++
+	if t.sinceUpdate >= t.cfg.UpdateEvery && t.buf.Len() >= t.cfg.WarmupSize {
+		t.sinceUpdate = 0
+		t.UpdateAllTrainers()
+	}
+	return done
+}
+
+// Warmup runs env steps without any training updates, pre-filling the
+// replay buffer (used by the characterization harness).
+func (t *Trainer) Warmup(steps int) {
+	for i := 0; i < steps; i++ {
+		t.interact(false)
+	}
+}
+
+// interact performs one action-selection + env-step + replay-add cycle.
+// When timed is false the phases are not recorded (warmup).
+func (t *Trainer) interact(timed bool) bool {
+	if timed {
+		t.prof.Start(profiler.PhaseActionSelection)
+	}
+	obsRow := tensor.New(1, 0) // shape fixed per agent below
+	for i := 0; i < t.n; i++ {
+		obsRow.Rows, obsRow.Cols, obsRow.Data = 1, t.obsDims[i], t.obs[i]
+		logits := t.agents[i].actor.Forward(obsRow)
+		nn.GumbelSoftmaxRow(t.actionProbs[i], logits.Row(0), t.cfg.GumbelTau, t.rng)
+		t.actionIdx[i] = tensor.ArgMax(t.actionProbs[i])
+	}
+	if timed {
+		t.prof.Stop(profiler.PhaseActionSelection)
+		t.prof.Start(profiler.PhaseEnvStep)
+	}
+	nextObs, rewards := t.env.Step(t.actionIdx)
+	if timed {
+		t.prof.Stop(profiler.PhaseEnvStep)
+	}
+
+	t.epStep++
+	t.totalSteps++
+	var meanRew float64
+	for _, r := range rewards {
+		meanRew += r
+	}
+	meanRew /= float64(t.n)
+	t.epRewardSum += meanRew
+
+	episodeDone := t.epStep >= t.cfg.MaxEpisodeLen
+	doneFlag := 0.0
+	if episodeDone {
+		doneFlag = 1
+	}
+	dones := make([]float64, t.n)
+	for i := range dones {
+		dones[i] = doneFlag
+	}
+
+	if timed {
+		t.prof.Start(profiler.PhaseReplayAdd)
+	}
+	t.buf.Add(t.obs, t.actionProbs, rewards, nextObs, dones)
+	if timed {
+		t.prof.Stop(profiler.PhaseReplayAdd)
+	}
+	if t.kv != nil {
+		// The key-value table is maintained incrementally: every new
+		// transition is reshaped into its interleaved row as it arrives,
+		// which is the layout-reorganization cost in steady-state training.
+		if timed {
+			t.prof.Start(profiler.PhaseLayoutReorg)
+		}
+		t.kv.Add(t.obs, t.actionProbs, rewards, nextObs, dones)
+		if timed {
+			t.prof.Stop(profiler.PhaseLayoutReorg)
+		}
+	}
+
+	if episodeDone {
+		t.lastEpReward = t.epRewardSum
+		t.epRewardSum = 0
+		t.epStep = 0
+		t.episodeCount++
+		t.obs = t.env.Reset(t.rng)
+	} else {
+		t.obs = nextObs
+	}
+	return episodeDone
+}
+
+// RunEpisodes runs n full episodes (with training updates as configured),
+// invoking cb (if non-nil) with each completed episode's mean reward.
+func (t *Trainer) RunEpisodes(n int, cb func(episode int, meanReward float64)) {
+	for completed := 0; completed < n; {
+		if t.Step() {
+			completed++
+			if cb != nil {
+				cb(t.episodeCount, t.lastEpReward)
+			}
+		}
+	}
+}
+
+// UpdateAllTrainers runs the full update stage once: for every agent, the
+// mini-batch sampling, target-Q calculation and Q-loss/P-loss phases, then
+// the target-network soft updates. It panics if the buffer holds fewer than
+// BatchSize transitions.
+func (t *Trainer) UpdateAllTrainers() {
+	if t.buf.Len() < 1 {
+		panic("core: update with empty replay buffer")
+	}
+	t.updateCount++
+
+	delayedStep := t.cfg.Algorithm == MATD3 && t.updateCount%t.cfg.PolicyDelay != 0
+
+	for i := 0; i < t.n; i++ {
+		// ---- Mini-batch sampling phase ----
+		t.prof.Start(profiler.PhaseSampling)
+		sample := t.sampler.Sample(t.cfg.BatchSize, t.rng)
+		if t.cfg.UseKVLayout {
+			t.kv.GatherAll(sample.Indices, t.batches)
+		} else {
+			t.buf.GatherAll(sample.Indices, t.batches)
+		}
+		t.prof.Stop(profiler.PhaseSampling)
+
+		// ---- Target-Q calculation phase ----
+		t.prof.Start(profiler.PhaseTargetQ)
+		t.computeTargets(i)
+		t.prof.Stop(profiler.PhaseTargetQ)
+
+		// ---- Q-loss / P-loss phase ----
+		t.prof.Start(profiler.PhaseQPLoss)
+		weights := sample.Weights
+		if weights == nil {
+			weights = t.onesW
+		}
+		t.updateCritics(i, weights)
+		if !delayedStep {
+			t.updateActor(i)
+		}
+		t.prof.Stop(profiler.PhaseQPLoss)
+
+		if ps, ok := t.sampler.(replay.PrioritySampler); ok {
+			ps.UpdatePriorities(sample.Indices, t.tdAbs[:len(sample.Indices)])
+		}
+	}
+
+	if !delayedStep {
+		t.prof.Start(profiler.PhaseQPLoss)
+		for _, ag := range t.agents {
+			ag.softUpdateTargets(t.cfg.Tau)
+		}
+		t.prof.Stop(profiler.PhaseQPLoss)
+	}
+}
+
+// computeTargets fills yTarget for agent i: every agent's target actor maps
+// its next observation to target action probabilities (with MATD3 target
+// policy smoothing), the joint next state-action is assembled, and the
+// target critic(s) produce y = r + γ(1-done)·Q'. This is the N×(N-1)
+// cross-agent policy lookup structure the paper describes.
+func (t *Trainer) computeTargets(i int) {
+	b := t.cfg.BatchSize
+	for j := 0; j < t.n; j++ {
+		logits := t.agents[j].targetActor.Forward(t.batches[j].NextObs)
+		if t.cfg.Algorithm == MATD3 && t.cfg.TargetNoiseStd > 0 {
+			// Target policy smoothing: clipped Gaussian noise on logits.
+			for k := range logits.Data {
+				noise := t.rng.NormFloat64() * t.cfg.TargetNoiseStd
+				if noise > t.cfg.TargetNoiseClip {
+					noise = t.cfg.TargetNoiseClip
+				} else if noise < -t.cfg.TargetNoiseClip {
+					noise = -t.cfg.TargetNoiseClip
+				}
+				logits.Data[k] += noise
+			}
+		}
+		nn.SoftmaxRows(t.targetProbs[j], logits)
+	}
+	for j := 0; j < t.n; j++ {
+		tensor.SetCols(t.jointNext, t.batches[j].NextObs, t.obsOffsets[j])
+		tensor.SetCols(t.jointNext, t.targetProbs[j], t.actOffsets[j])
+	}
+	q1 := t.agents[i].targetCritic1.Forward(t.jointNext)
+	qNext := q1
+	if t.agents[i].targetCritic2 != nil {
+		q2 := t.agents[i].targetCritic2.Forward(t.jointNext)
+		// Twin target: elementwise min counters over-estimation bias.
+		for k := range q1.Data {
+			if q2.Data[k] < q1.Data[k] {
+				q1.Data[k] = q2.Data[k]
+			}
+		}
+	}
+	rew := t.batches[i].Rew
+	done := t.batches[i].Done
+	for k := 0; k < b; k++ {
+		t.yTarget.Data[k] = rew.Data[k] + t.cfg.Gamma*(1-done.Data[k])*qNext.Data[k]
+	}
+}
+
+// updateCritics assembles the joint current state-action from the sampled
+// batch and applies one weighted-MSE Adam step to each critic of agent i,
+// recording absolute TD errors for prioritized samplers.
+func (t *Trainer) updateCritics(i int, weights []float64) {
+	for j := 0; j < t.n; j++ {
+		tensor.SetCols(t.jointCur, t.batches[j].Obs, t.obsOffsets[j])
+		tensor.SetCols(t.jointCur, t.batches[j].Act, t.actOffsets[j])
+	}
+	ag := t.agents[i]
+
+	q := ag.critic1.Forward(t.jointCur)
+	nn.WeightedMSELoss(t.qGrad, q, t.yTarget, weights, t.tdAbs)
+	ag.critic1.ZeroGrads()
+	ag.critic1.Backward(t.qGrad)
+	ag.critic1.ClipGradients(t.cfg.ClipNorm)
+	ag.critic1Opt.Step()
+
+	if ag.critic2 != nil {
+		q2 := ag.critic2.Forward(t.jointCur)
+		nn.WeightedMSELoss(t.qGrad, q2, t.yTarget, weights, nil)
+		ag.critic2.ZeroGrads()
+		ag.critic2.Backward(t.qGrad)
+		ag.critic2.ClipGradients(t.cfg.ClipNorm)
+		ag.critic2Opt.Step()
+	}
+}
+
+// updateActor applies one policy-gradient step to agent i's actor: the
+// actor's softmax action replaces its buffer action in the joint input,
+// the critic scores it, and -mean(Q) (plus the reference implementation's
+// 1e-3 logit regularizer) is minimized through the critic into the actor.
+func (t *Trainer) updateActor(i int) {
+	ag := t.agents[i]
+	b := t.cfg.BatchSize
+
+	logits := ag.actor.Forward(t.batches[i].Obs)
+	nn.SoftmaxRows(t.probsBuf, logits)
+	tensor.SetCols(t.jointCur, t.probsBuf, t.actOffsets[i])
+
+	ag.critic1.Forward(t.jointCur)
+	// dPLoss/dQ = -1/B for pLoss = -mean(Q).
+	t.qGrad.Fill(-1 / float64(b))
+	ag.critic1.ZeroGrads()
+	gradIn := ag.critic1.Backward(t.qGrad)
+	tensor.SliceCols(t.gradProbs, gradIn, t.actOffsets[i], t.actOffsets[i]+t.actDim)
+	nn.SoftmaxBackwardRows(t.gradLogits, t.probsBuf, t.gradProbs)
+	// Logit regularizer: +1e-3 · mean(logits²).
+	regScale := 1e-3 * 2 / float64(len(logits.Data))
+	for k := range t.gradLogits.Data {
+		t.gradLogits.Data[k] += regScale * logits.Data[k]
+	}
+	ag.actor.ZeroGrads()
+	ag.actor.Backward(t.gradLogits)
+	ag.actor.ClipGradients(t.cfg.ClipNorm)
+	ag.actorOpt.Step()
+	// The critic's parameter gradients from this pass are discarded; clear
+	// them so nothing leaks into the next critic step.
+	ag.critic1.ZeroGrads()
+	t.actorUpdCount++
+}

@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"marlperf/internal/core"
+	"marlperf/internal/replay"
+	"marlperf/internal/simcache"
+)
+
+func init() {
+	register(&Runner{
+		ID:          "ablation-neighbors",
+		Description: "Ablation: neighbor-run length vs reference-point count at fixed batch coverage",
+		Run:         runAblationNeighbors,
+	})
+	register(&Runner{
+		ID:          "ablation-ip",
+		Description: "Ablation: IP neighbor-predictor thresholds vs fixed neighbor counts",
+		Run:         runAblationIP,
+	})
+	register(&Runner{
+		ID:          "ablation-beta",
+		Description: "Ablation: Lemma-1 importance-sampling compensation β on learning outcome",
+		Run:         runAblationBeta,
+	})
+	register(&Runner{
+		ID:          "ablation-rankper",
+		Description: "Ablation: proportional vs rank-based prioritized replay",
+		Run:         runAblationRankPER,
+	})
+	register(&Runner{
+		ID:          "ablation-reuse",
+		Description: "Ablation: AccMER-style transition reuse windows vs fresh sampling",
+		Run:         runAblationReuse,
+	})
+	register(&Runner{
+		ID:          "ablation-epaware",
+		Description: "Ablation: episode-boundary-aware neighbor runs vs plain locality sampling",
+		Run:         runAblationEpAware,
+	})
+}
+
+// runAblationEpAware compares plain Algorithm-1 locality sampling against
+// the episode-aware variant that truncates neighbor runs at done flags:
+// sampling cost, reference-point inflation, and the boundary-crossing
+// fraction the variant eliminates.
+func runAblationEpAware(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: episode-aware neighbor runs (predator-prey, 25-step episodes)",
+		Headers: []string{"sampler", "sampling time", "refs/batch", "runs crossing episode boundary"},
+		Notes: []string{
+			"plain locality lets a neighbor run straddle episode boundaries; the aware variant stops at done flags",
+			"cost of awareness = slightly more reference points (shorter average runs)",
+		},
+	}
+	n := scale.AgentCounts[0]
+	fill := cappedFill(newSpec(envPredatorPrey, n, 1), scale.BufferFill)
+	spec := newSpec(envPredatorPrey, n, fill)
+	buf := replay.NewBuffer(spec)
+	fillSyntheticEpisodes(buf, fill, 25)
+	batches := newBatches(spec, scale.Batch)
+	rng := rand.New(rand.NewSource(65))
+
+	for _, v := range []struct {
+		label string
+		s     replay.Sampler
+	}{
+		{"locality n=16", replay.NewLocalitySampler(buf, 16, scale.Batch/16)},
+		{"ep-aware n=16", replay.NewEpisodeAwareLocalitySampler(buf, 16, scale.Batch/16)},
+	} {
+		var refs, crossings, runs int
+		start := time.Now()
+		for it := 0; it < scale.SamplingIters; it++ {
+			for trainer := 0; trainer < n; trainer++ {
+				sample := v.s.Sample(scale.Batch, rng)
+				buf.GatherAll(sample.Indices, batches)
+				refs += len(sample.Refs)
+				c, r := countBoundaryCrossings(buf, sample.Indices)
+				crossings += c
+				runs += r
+			}
+		}
+		wall := time.Since(start)
+		tab.Rows = append(tab.Rows, []string{
+			v.label,
+			wall.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", float64(refs)/float64(scale.SamplingIters*n)),
+			fmt.Sprintf("%d/%d", crossings, runs),
+		})
+	}
+	return &Result{ID: "ablation-epaware", Tables: []*Table{tab}}
+}
+
+// fillSyntheticEpisodes fills buf with random transitions whose done flags
+// mark every epLen-th step as terminal.
+func fillSyntheticEpisodes(buf *replay.Buffer, n, epLen int) {
+	rng := rand.New(rand.NewSource(66))
+	spec := buf.Spec()
+	obs := make([][]float64, spec.NumAgents)
+	act := make([][]float64, spec.NumAgents)
+	rew := make([]float64, spec.NumAgents)
+	nextObs := make([][]float64, spec.NumAgents)
+	done := make([]float64, spec.NumAgents)
+	for a := 0; a < spec.NumAgents; a++ {
+		obs[a] = make([]float64, spec.ObsDims[a])
+		nextObs[a] = make([]float64, spec.ObsDims[a])
+		act[a] = make([]float64, spec.ActDim)
+	}
+	for t := 0; t < n; t++ {
+		flag := 0.0
+		if (t+1)%epLen == 0 {
+			flag = 1
+		}
+		for a := 0; a < spec.NumAgents; a++ {
+			for j := range obs[a] {
+				obs[a][j] = rng.Float64()
+			}
+			act[a][t%spec.ActDim] = 1
+			rew[a] = rng.NormFloat64()
+			done[a] = flag
+		}
+		buf.Add(obs, act, rew, nextObs, done)
+	}
+}
+
+// countBoundaryCrossings counts consecutive-index runs in a sample and how
+// many of them continue past a terminal transition.
+func countBoundaryCrossings(buf *replay.Buffer, indices []int) (crossings, runs int) {
+	if len(indices) == 0 {
+		return 0, 0
+	}
+	runs = 1
+	for i := 0; i+1 < len(indices); i++ {
+		cur, next := indices[i], indices[i+1]
+		if next == (cur+1)%buf.Len() {
+			if buf.DoneFlag(0, cur) != 0 {
+				crossings++
+			}
+		} else {
+			runs++
+		}
+	}
+	return crossings, runs
+}
+
+// runAblationReuse measures the sampling-cost savings of reusing a drawn
+// mini-batch for W updates (the related-work AccMER strategy) against fresh
+// uniform and locality-aware sampling.
+func runAblationReuse(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: transition-reuse window (predator-prey, largest agent count)",
+		Headers: []string{"strategy", "sampling time", "reduction vs fresh", "distinct batches"},
+		Notes: []string{
+			"reuse(w) redraws indices every w updates (AccMER-style); gathers still run every update",
+			"fresh locality-aware sampling is the paper's alternative: cheap every update, no staleness",
+		},
+	}
+	n := scale.AgentCounts[len(scale.AgentCounts)-1]
+	spec := newSpec(envPredatorPrey, n, cappedFill(newSpec(envPredatorPrey, n, 1), scale.BufferFill))
+	buf := replay.NewBuffer(spec)
+	rng := rand.New(rand.NewSource(64))
+	fillSynthetic(buf, spec.Capacity, rng)
+	batches := newBatches(spec, scale.Batch)
+
+	variants := []struct {
+		label string
+		s     replay.Sampler
+	}{
+		{"fresh uniform", replay.NewUniformSampler(buf)},
+		{"reuse w=2", replay.NewReuseSampler(replay.NewUniformSampler(buf), 2)},
+		{"reuse w=4", replay.NewReuseSampler(replay.NewUniformSampler(buf), 4)},
+		{"fresh locality n16r64", replay.NewLocalitySampler(buf, 16, 64)},
+	}
+	var base float64
+	for i, v := range variants {
+		seen := map[int]bool{}
+		start := time.Now()
+		for it := 0; it < scale.SamplingIters; it++ {
+			for trainer := 0; trainer < n; trainer++ {
+				sample := v.s.Sample(scale.Batch, rng)
+				buf.GatherAll(sample.Indices, batches)
+				seen[sample.Indices[0]*1000003+sample.Indices[len(sample.Indices)-1]] = true
+			}
+		}
+		wall := time.Since(start).Seconds()
+		if i == 0 {
+			base = wall
+		}
+		tab.Rows = append(tab.Rows, []string{
+			v.label,
+			fmt.Sprintf("%.3fms", wall*1000),
+			pct(reduction(base, wall)),
+			fmt.Sprint(len(seen)),
+		})
+	}
+	return &Result{ID: "ablation-reuse", Tables: []*Table{tab}}
+}
+
+// runAblationRankPER compares the two PER variants of Schaul et al.:
+// proportional (sum tree) vs rank-based (sorted order), on sampling cost
+// and concentration under an outlier TD error.
+func runAblationRankPER(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: proportional vs rank-based prioritized replay (predator-prey)",
+		Headers: []string{"variant", "sampling time", "outlier share", "max weight spread"},
+		Notes: []string{
+			"outlier share = fraction of a batch drawn from one transition whose TD error is 1000x the rest",
+			"rank-based bounds concentration (1/rank mass) where proportional follows magnitudes",
+		},
+	}
+	n := scale.AgentCounts[0]
+	for _, variant := range []string{"proportional", "rank-based"} {
+		spec := newSpec(envPredatorPrey, n, cappedFill(newSpec(envPredatorPrey, n, 1), scale.BufferFill))
+		buf := replay.NewBuffer(spec)
+		var s replay.PrioritySampler
+		if variant == "proportional" {
+			s = replay.NewPERSampler(buf)
+		} else {
+			s = replay.NewRankPERSampler(buf)
+		}
+		rng := rand.New(rand.NewSource(63))
+		fillSynthetic(buf, spec.Capacity, rng)
+
+		// One outlier TD error among uniform small ones.
+		idx := make([]int, buf.Len())
+		td := make([]float64, buf.Len())
+		for i := range idx {
+			idx[i] = i
+			td[i] = 0.01
+		}
+		td[42] = 10
+		s.UpdatePriorities(idx, td)
+
+		batches := newBatches(spec, scale.Batch)
+		start := time.Now()
+		outlier := 0
+		totalDrawn := 0
+		var minW, maxW float64 = 1, 0
+		for it := 0; it < scale.SamplingIters; it++ {
+			sample := s.Sample(scale.Batch, rng)
+			buf.GatherAll(sample.Indices, batches)
+			for i, drawn := range sample.Indices {
+				if drawn == 42 {
+					outlier++
+				}
+				w := sample.Weights[i]
+				if w < minW {
+					minW = w
+				}
+				if w > maxW {
+					maxW = w
+				}
+			}
+			totalDrawn += len(sample.Indices)
+		}
+		wall := time.Since(start)
+		tab.Rows = append(tab.Rows, []string{
+			variant,
+			wall.Round(time.Microsecond).String(),
+			pct(100 * float64(outlier) / float64(totalDrawn)),
+			fmt.Sprintf("%.3f-%.3f", minW, maxW),
+		})
+	}
+	return &Result{ID: "ablation-rankper", Tables: []*Table{tab}}
+}
+
+// runAblationNeighbors sweeps the (neighbors, refs) trade-off the paper's
+// two operating points sit on: longer runs give the prefetcher more to
+// stream but reduce randomness.
+func runAblationNeighbors(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: neighbor sweep (predator-prey, largest agent count)",
+		Headers: []string{"neighbors", "refs", "sampling time", "reduction vs uniform", "LLC misses", "dTLB misses", "distinct refs/batch"},
+		Notes: []string{
+			"batch coverage fixed at neighbors x refs = batch; the paper's operating points are n=16/ref=64 and n=64/ref=16",
+		},
+	}
+	n := scale.AgentCounts[len(scale.AgentCounts)-1]
+	spec := newSpec(envPredatorPrey, n, scale.BufferFill)
+	buf := replay.NewBuffer(spec)
+	rng := rand.New(rand.NewSource(61))
+	fillSynthetic(buf, scale.BufferFill, rng)
+	batches := newBatches(spec, scale.Batch)
+
+	baseTime := measureSamplingWall(buf, replay.NewUniformSampler(buf), batches, n, scale.Batch, scale.SamplingIters, rng)
+	baseRow := []string{"1 (uniform)", fmt.Sprint(scale.Batch), baseTime.Round(time.Microsecond).String(), "0.0%"}
+	baseStats := traceSamplerStats(buf, replay.NewUniformSampler(buf), batches, n, scale.Batch)
+	baseRow = append(baseRow, fmt.Sprint(baseStats.L3Misses), fmt.Sprint(baseStats.TLBMisses), fmt.Sprint(scale.Batch))
+	tab.Rows = append(tab.Rows, baseRow)
+
+	for _, neigh := range []int{4, 16, 64, 256} {
+		if neigh > scale.Batch {
+			continue
+		}
+		refs := scale.Batch / neigh
+		s := replay.NewLocalitySampler(buf, neigh, refs)
+		t := measureSamplingWall(buf, s, batches, n, scale.Batch, scale.SamplingIters, rng)
+		stats := traceSamplerStats(buf, s, batches, n, scale.Batch)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(neigh), fmt.Sprint(refs),
+			t.Round(time.Microsecond).String(),
+			pct(reduction(baseTime.Seconds(), t.Seconds())),
+			fmt.Sprint(stats.L3Misses),
+			fmt.Sprint(stats.TLBMisses),
+			fmt.Sprint(refs),
+		})
+	}
+	return &Result{ID: "ablation-neighbors", Tables: []*Table{tab}}
+}
+
+// runAblationIP compares the threshold predictor against fixed neighbor
+// counts sharing the same PER priorities.
+func runAblationIP(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: IP neighbor predictor vs fixed neighbor counts (predator-prey)",
+		Headers: []string{"predictor", "sampling time", "LLC misses", "mean run length"},
+		Notes: []string{
+			"the adaptive predictor (1/2/4 by normalized priority) sits between fixed-1 (max randomness) and fixed-4 (max locality)",
+		},
+	}
+	n := scale.AgentCounts[len(scale.AgentCounts)-1]
+	spec := newSpec(envPredatorPrey, n, scale.BufferFill)
+
+	predictors := []struct {
+		label string
+		p     replay.NeighborPredictor
+	}{
+		{"adaptive 1/2/4 (paper)", replay.DefaultNeighborPredictor()},
+		{"fixed 1", replay.NeighborPredictor{Neighbors: []int{1}}},
+		{"fixed 4", replay.NeighborPredictor{Neighbors: []int{4}}},
+	}
+	for _, pr := range predictors {
+		buf := replay.NewBuffer(spec)
+		rng := rand.New(rand.NewSource(62))
+		s := replay.NewIPLocalitySampler(buf, 1)
+		s.Predictor = pr.p
+		fillSynthetic(buf, scale.BufferFill, rng)
+		// Shake priorities so the predictor sees a spread of weights.
+		idx := make([]int, 0, scale.BufferFill/7)
+		td := make([]float64, 0, scale.BufferFill/7)
+		for i := 0; i < scale.BufferFill; i += 7 {
+			idx = append(idx, i)
+			td = append(td, rng.Float64()*2)
+		}
+		s.UpdatePriorities(idx, td)
+
+		batches := newBatches(spec, scale.Batch)
+		start := time.Now()
+		var totalIdx, totalRefs int
+		for it := 0; it < scale.SamplingIters; it++ {
+			for trainer := 0; trainer < n; trainer++ {
+				sample := s.Sample(scale.Batch, rng)
+				buf.GatherAll(sample.Indices, batches)
+				totalIdx += len(sample.Indices)
+				totalRefs += len(sample.Refs)
+			}
+		}
+		wall := time.Since(start)
+
+		h := simcache.NewHierarchy(simcache.Ryzen3975WX())
+		buf.SetTracer(h)
+		for trainer := 0; trainer < n; trainer++ {
+			sample := s.Sample(scale.Batch, rng)
+			buf.GatherAll(sample.Indices, batches)
+		}
+		buf.SetTracer(nil)
+
+		meanRun := float64(totalIdx) / float64(totalRefs)
+		tab.Rows = append(tab.Rows, []string{
+			pr.label,
+			wall.Round(time.Microsecond).String(),
+			fmt.Sprint(h.Stats().L3Misses),
+			f2(meanRun),
+		})
+	}
+	return &Result{ID: "ablation-ip", Tables: []*Table{tab}}
+}
+
+// runAblationBeta trains the IP sampler with β ∈ {0, 0.5, 1} to show the
+// Lemma-1 compensation's effect on learning outcome.
+func runAblationBeta(scale Scale) *Result {
+	tab := &Table{
+		Title:   "Ablation: Lemma-1 compensation β (cooperative navigation)",
+		Headers: []string{"beta", "final reward", "mean of last half"},
+		Notes: []string{
+			"β=1 fully compensates the locality-induced distribution shift; β=0 disables the correction",
+		},
+	}
+	agents := scale.RewardAgents[0]
+	for _, beta := range []float64{0, 0.5, 1} {
+		series, _ := rewardCurve(envCoopNav, agents, scale, rewardVariant{
+			label: fmt.Sprintf("beta=%.1f", beta),
+			cfg: func(c core.Config) core.Config {
+				c.Sampler = core.SamplerIPLocality
+				c.ISBeta = beta
+				return c
+			},
+		}, 7)
+		if len(series) == 0 {
+			continue
+		}
+		var lastHalf float64
+		half := series[len(series)/2:]
+		for _, v := range half {
+			lastHalf += v
+		}
+		lastHalf /= float64(len(half))
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.1f", beta),
+			f2(series[len(series)-1]),
+			f2(lastHalf),
+		})
+	}
+	return &Result{ID: "ablation-beta", Tables: []*Table{tab}}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"time"
+
+	"marlperf/internal/profiler"
+)
+
+// The paper's platform executes the network phases (action selection,
+// target-Q, Q/P-loss backprop) on an RTX 3090 while the mini-batch sampling
+// phase stays on the CPU. This substrate runs everything on host cores, so
+// raw wall-clock shares overweight the network phases. For the
+// characterization figures we therefore also report a GPU-host modeled
+// breakdown: device-phase durations are divided by a throughput factor and
+// charged a per-kernel-launch dispatch overhead, while the CPU-side phases
+// (sampling, env step, replay add, layout reorg) keep their measured times.
+//
+// Constants are calibrated once and documented in EXPERIMENTS.md:
+//   - deviceSpeedup: effective throughput ratio of the RTX 3090 over one
+//     host core for these small 64-wide MLP batches (the card's 35 TFLOPS
+//     peak is irrelevant at this size; ~100-150x effective is typical).
+//   - launchOverhead: per-kernel dispatch + framework overhead
+//     (tens of microseconds under TF2 eager/graph execution).
+const (
+	deviceSpeedup  = 120.0
+	launchOverhead = 30 * time.Microsecond
+)
+
+// launchesPerCall estimates kernel launches per timed phase call.
+func launchesPerCall(phase profiler.Phase, agents int) float64 {
+	switch phase {
+	case profiler.PhaseActionSelection:
+		// One actor forward per agent per env step.
+		return float64(agents)
+	case profiler.PhaseTargetQ:
+		// Every agent's target actor forward plus the target critic(s).
+		return float64(agents + 2)
+	case profiler.PhaseQPLoss:
+		// Critic forward/backward/step + actor forward/backward/step.
+		return 10
+	default:
+		return 0
+	}
+}
+
+// devicePhases are the stages the paper offloads to the GPU.
+var devicePhases = map[profiler.Phase]bool{
+	profiler.PhaseActionSelection: true,
+	profiler.PhaseTargetQ:         true,
+	profiler.PhaseQPLoss:          true,
+}
+
+// modeledProfile maps a measured profile onto the paper's CPU-GPU platform.
+func modeledProfile(p *profiler.Profile, agents int) *profiler.Profile {
+	out := &profiler.Profile{}
+	for _, phase := range profiler.Phases() {
+		dur := p.Duration(phase)
+		calls := p.Count(phase)
+		if dur == 0 && calls == 0 {
+			continue
+		}
+		if devicePhases[phase] {
+			modeled := time.Duration(float64(dur)/deviceSpeedup) +
+				time.Duration(float64(calls)*launchesPerCall(phase, agents))*launchOverhead
+			out.Add(phase, modeled)
+		} else {
+			out.Add(phase, dur)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package mpe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEnvContract runs every scenario through the shared Env contract:
+// shape consistency between ObsDims/Reset/Step, reward finiteness, action
+// robustness, and determinism under a fixed seed.
+func TestEnvContract(t *testing.T) {
+	scenarios := []struct {
+		name string
+		mk   func() Env
+	}{
+		{"predator-prey-3", func() Env { return NewPredatorPrey(3) }},
+		{"predator-prey-6", func() Env { return NewPredatorPrey(6) }},
+		{"coop-nav-3", func() Env { return NewCooperativeNavigation(3) }},
+		{"coop-nav-5", func() Env { return NewCooperativeNavigation(5) }},
+		{"deception-2", func() Env { return NewPhysicalDeception(2) }},
+		{"deception-4", func() Env { return NewPhysicalDeception(4) }},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			env := sc.mk()
+			if env.Name() == "" {
+				t.Fatal("empty Name")
+			}
+			n := env.NumAgents()
+			if n < 1 {
+				t.Fatalf("NumAgents = %d", n)
+			}
+			dims := env.ObsDims()
+			if len(dims) != n {
+				t.Fatalf("%d obs dims for %d agents", len(dims), n)
+			}
+			if env.NumActions() != NumActions {
+				t.Fatalf("NumActions = %d, want %d", env.NumActions(), NumActions)
+			}
+			rng := rand.New(rand.NewSource(77))
+			obs := env.Reset(rng)
+			if len(obs) != n {
+				t.Fatalf("Reset returned %d observations", len(obs))
+			}
+			for i, o := range obs {
+				if len(o) != dims[i] {
+					t.Fatalf("obs[%d] width %d, want %d", i, len(o), dims[i])
+				}
+			}
+			actions := make([]int, n)
+			for step := 0; step < 60; step++ {
+				for i := range actions {
+					actions[i] = rng.Intn(NumActions)
+				}
+				next, rw := env.Step(actions)
+				if len(next) != n || len(rw) != n {
+					t.Fatalf("Step returned %d obs / %d rewards", len(next), len(rw))
+				}
+				for i, o := range next {
+					if len(o) != dims[i] {
+						t.Fatalf("step obs[%d] width %d, want %d", i, len(o), dims[i])
+					}
+					for _, v := range o {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatalf("non-finite observation at step %d", step)
+						}
+					}
+				}
+				for _, v := range rw {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("non-finite reward at step %d", step)
+					}
+				}
+			}
+
+			// Determinism: identical seeds produce identical trajectories.
+			run := func() []float64 {
+				e := sc.mk()
+				r := rand.New(rand.NewSource(123))
+				e.Reset(r)
+				var rewards []float64
+				acts := make([]int, e.NumAgents())
+				for step := 0; step < 20; step++ {
+					for i := range acts {
+						acts[i] = r.Intn(NumActions)
+					}
+					_, rw := e.Step(acts)
+					rewards = append(rewards, rw...)
+				}
+				return rewards
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("non-deterministic rewards at %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package mpe
+
+import "math/rand"
+
+// Env is the environment interface the trainers consume. Only trainable
+// agents appear in the observation/reward vectors; scripted
+// (environment-controlled) agents such as the prey act internally.
+type Env interface {
+	// Reset re-randomizes the world and returns the initial observation of
+	// every trainable agent.
+	Reset(rng *rand.Rand) [][]float64
+	// Step applies one discrete action per trainable agent, advances the
+	// world, and returns next observations and rewards.
+	Step(actions []int) (obs [][]float64, rewards []float64)
+	// NumAgents returns the number of trainable agents.
+	NumAgents() int
+	// ObsDims returns the observation width of each trainable agent.
+	ObsDims() []int
+	// NumActions returns the discrete action count (5 for particle envs).
+	NumActions() int
+	// Name identifies the scenario for reports.
+	Name() string
+}
+
+// EpisodeRunner drives an Env for fixed-length episodes (the paper caps
+// episodes at 25 steps).
+type EpisodeRunner struct {
+	Env       Env
+	MaxSteps  int
+	rng       *rand.Rand
+	obs       [][]float64
+	stepCount int
+}
+
+// NewEpisodeRunner returns a runner over env with the given episode cap.
+func NewEpisodeRunner(env Env, maxSteps int, rng *rand.Rand) *EpisodeRunner {
+	r := &EpisodeRunner{Env: env, MaxSteps: maxSteps, rng: rng}
+	r.obs = env.Reset(rng)
+	return r
+}
+
+// Obs returns the current observations.
+func (r *EpisodeRunner) Obs() [][]float64 { return r.obs }
+
+// Step applies actions; it returns rewards and whether the episode ended
+// (and auto-resets on episode end).
+func (r *EpisodeRunner) Step(actions []int) (next [][]float64, rewards []float64, done bool) {
+	next, rewards = r.Env.Step(actions)
+	r.stepCount++
+	if r.stepCount >= r.MaxSteps {
+		done = true
+		r.stepCount = 0
+		next = r.Env.Reset(r.rng)
+	}
+	r.obs = next
+	return next, rewards, done
+}

@@ -1,0 +1,61 @@
+package mpe
+
+import "strings"
+
+// RenderASCII draws the world onto a character grid for terminal debugging
+// and demos: predators/adversaries as 'P', scripted prey as 'p', good
+// agents as 'A', landmarks as 'o'. The viewport covers [-lim, lim]² with
+// the given grid width; height is half the width (terminal cells are tall).
+func RenderASCII(w *World, width int, lim float64) string {
+	if width < 4 {
+		width = 4
+	}
+	height := width / 2
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", width))
+	}
+	plot := func(pos Vec2, ch byte) {
+		x := int((pos.X + lim) / (2 * lim) * float64(width-1))
+		y := int((lim - pos.Y) / (2 * lim) * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return
+		}
+		grid[y][x] = ch
+	}
+	for _, lm := range w.Landmarks {
+		plot(lm.Pos, 'o')
+	}
+	for _, ag := range w.Agents {
+		switch {
+		case ag.Scripted:
+			plot(ag.Pos, 'p')
+		case ag.Adversary:
+			plot(ag.Pos, 'P')
+		default:
+			plot(ag.Pos, 'A')
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	return b.String()
+}
+
+// World exposes the physics world of a scenario for rendering.
+func (p *PredatorPrey) World() *World { return p.world }
+
+// World exposes the physics world of a scenario for rendering.
+func (c *CooperativeNavigation) World() *World { return c.world }
+
+// World exposes the physics world of a scenario for rendering.
+func (p *PhysicalDeception) World() *World { return p.world }

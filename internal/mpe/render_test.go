@@ -1,0 +1,65 @@
+package mpe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRenderASCIIMarkers(t *testing.T) {
+	env := NewPredatorPrey(2)
+	env.Reset(rand.New(rand.NewSource(1)))
+	// Pin entities to known, distinct positions.
+	env.World().Agents[0].Pos = Vec2{-0.5, 0.5} // predator
+	env.World().Agents[1].Pos = Vec2{0.5, 0.5}  // predator
+	env.World().Agents[2].Pos = Vec2{0.5, -0.5} // prey (scripted)
+	env.World().Landmarks[0].Pos = Vec2{-0.5, -0.5}
+	env.World().Landmarks[1].Pos = Vec2{0, 0}
+	out := RenderASCII(env.World(), 40, 1.2)
+	for _, marker := range []string{"P", "p", "o"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("render missing %q:\n%s", marker, out)
+		}
+	}
+	if !strings.HasPrefix(out, "+") || !strings.HasSuffix(strings.TrimRight(out, "\n"), "+") {
+		t.Fatalf("render missing border:\n%s", out)
+	}
+}
+
+func TestRenderASCIIGoodAgentMarker(t *testing.T) {
+	env := NewCooperativeNavigation(2)
+	env.Reset(rand.New(rand.NewSource(2)))
+	out := RenderASCII(env.World(), 30, 1.5)
+	if !strings.Contains(out, "A") {
+		t.Fatalf("render missing good-agent marker:\n%s", out)
+	}
+}
+
+func TestRenderASCIIAdversaryMarker(t *testing.T) {
+	env := NewPhysicalDeception(2)
+	env.Reset(rand.New(rand.NewSource(3)))
+	out := RenderASCII(env.World(), 30, 1.5)
+	if !strings.Contains(out, "P") || !strings.Contains(out, "A") {
+		t.Fatalf("deception render missing markers:\n%s", out)
+	}
+}
+
+func TestRenderASCIIOutOfBoundsClipped(t *testing.T) {
+	env := NewCooperativeNavigation(1)
+	env.Reset(rand.New(rand.NewSource(4)))
+	env.World().Agents[0].Pos = Vec2{99, 99} // far outside the viewport
+	out := RenderASCII(env.World(), 20, 1)
+	if strings.Contains(out, "A") {
+		t.Fatal("out-of-viewport agent should be clipped")
+	}
+}
+
+func TestRenderASCIIMinimumWidth(t *testing.T) {
+	env := NewCooperativeNavigation(1)
+	env.Reset(rand.New(rand.NewSource(5)))
+	out := RenderASCII(env.World(), 1, 1) // clamped to 4
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("render too small:\n%s", out)
+	}
+}

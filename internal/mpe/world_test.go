@@ -1,0 +1,173 @@
+package mpe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -1}
+	if got := a.Add(b); got != (Vec2{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := (Vec2{3, 4}).Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %v", got)
+	}
+}
+
+func TestActionForceDirections(t *testing.T) {
+	cases := []struct {
+		a    int
+		want Vec2
+	}{
+		{0, Vec2{0, 0}},
+		{1, Vec2{1, 0}},
+		{2, Vec2{-1, 0}},
+		{3, Vec2{0, 1}},
+		{4, Vec2{0, -1}},
+		{99, Vec2{0, 0}}, // out of range is a no-op
+	}
+	for _, c := range cases {
+		if got := actionForce(c.a); got != c.want {
+			t.Fatalf("actionForce(%d) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestStepMovesAgentInActionDirection(t *testing.T) {
+	w := &World{Agents: []*Agent{{Entity: Entity{Mass: 1, Accel: 3, Movable: true}}}}
+	w.SetAction(0, 1) // right
+	w.Step()
+	ag := w.Agents[0]
+	if ag.Pos.X <= 0 || ag.Pos.Y != 0 {
+		t.Fatalf("agent should have moved right, pos = %v", ag.Pos)
+	}
+}
+
+func TestStepDampsVelocityWithoutForce(t *testing.T) {
+	w := &World{Agents: []*Agent{{Entity: Entity{Mass: 1, Movable: true, Vel: Vec2{1, 0}}}}}
+	w.Step()
+	if got := w.Agents[0].Vel.X; math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("velocity after damping = %v, want 0.75", got)
+	}
+}
+
+func TestStepRespectsMaxSpeed(t *testing.T) {
+	w := &World{Agents: []*Agent{{Entity: Entity{Mass: 1, Accel: 100, MaxSpeed: 1.0, Movable: true}}}}
+	for i := 0; i < 50; i++ {
+		w.SetAction(0, 1)
+		w.Step()
+	}
+	if sp := w.Agents[0].Vel.Norm(); sp > 1.0+1e-9 {
+		t.Fatalf("speed %v exceeds max 1.0", sp)
+	}
+}
+
+func TestImmovableAgentStaysPut(t *testing.T) {
+	w := &World{Agents: []*Agent{{Entity: Entity{Mass: 1, Accel: 3, Movable: false}}}}
+	w.SetAction(0, 1)
+	w.Step()
+	if w.Agents[0].Pos != (Vec2{}) {
+		t.Fatalf("immovable agent moved to %v", w.Agents[0].Pos)
+	}
+}
+
+func TestCollisionForcePushesApart(t *testing.T) {
+	a := &Entity{Pos: Vec2{0, 0}, Size: 0.1, Collide: true}
+	b := &Entity{Pos: Vec2{0.05, 0}, Size: 0.1, Collide: true}
+	f := collisionForce(a, b)
+	if f.X >= 0 {
+		t.Fatalf("overlapping a should be pushed left of b, force = %v", f)
+	}
+}
+
+func TestCollisionForceZeroWhenApart(t *testing.T) {
+	a := &Entity{Pos: Vec2{0, 0}, Size: 0.1, Collide: true}
+	b := &Entity{Pos: Vec2{5, 0}, Size: 0.1, Collide: true}
+	if f := collisionForce(a, b); f != (Vec2{}) {
+		t.Fatalf("distant entities produced force %v", f)
+	}
+}
+
+func TestCollisionForceZeroWhenNonCollider(t *testing.T) {
+	a := &Entity{Pos: Vec2{0, 0}, Size: 0.1, Collide: true}
+	b := &Entity{Pos: Vec2{0.01, 0}, Size: 0.1, Collide: false}
+	if f := collisionForce(a, b); f != (Vec2{}) {
+		t.Fatalf("non-collider produced force %v", f)
+	}
+}
+
+func TestIsCollision(t *testing.T) {
+	a := &Entity{Pos: Vec2{0, 0}, Size: 0.1}
+	b := &Entity{Pos: Vec2{0.15, 0}, Size: 0.1}
+	if !IsCollision(a, b) {
+		t.Fatal("overlapping entities should collide")
+	}
+	c := &Entity{Pos: Vec2{0.5, 0}, Size: 0.1}
+	if IsCollision(a, c) {
+		t.Fatal("separated entities should not collide")
+	}
+	if IsCollision(a, a) {
+		t.Fatal("an entity does not collide with itself")
+	}
+}
+
+func TestTwoAgentsCollidingSeparate(t *testing.T) {
+	w := &World{Agents: []*Agent{
+		{Entity: Entity{Pos: Vec2{-0.01, 0}, Size: 0.1, Mass: 1, Movable: true, Collide: true}},
+		{Entity: Entity{Pos: Vec2{0.01, 0}, Size: 0.1, Mass: 1, Movable: true, Collide: true}},
+	}}
+	before := w.Agents[1].Pos.X - w.Agents[0].Pos.X
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	after := w.Agents[1].Pos.X - w.Agents[0].Pos.X
+	if after <= before {
+		t.Fatalf("collision should push agents apart: gap %v -> %v", before, after)
+	}
+}
+
+// Property: physics conserves the symmetry of a mirrored two-agent setup —
+// agents placed symmetrically around the origin with opposite actions stay
+// mirror images of each other.
+func TestStepMirrorSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := 0.05 + r.Float64()
+		w := &World{Agents: []*Agent{
+			{Entity: Entity{Pos: Vec2{-x, 0}, Size: 0.1, Mass: 1, Accel: 3, Movable: true, Collide: true}},
+			{Entity: Entity{Pos: Vec2{x, 0}, Size: 0.1, Mass: 1, Accel: 3, Movable: true, Collide: true}},
+		}}
+		for i := 0; i < 20; i++ {
+			w.SetAction(0, 1) // right
+			w.SetAction(1, 2) // left
+			w.Step()
+			if math.Abs(w.Agents[0].Pos.X+w.Agents[1].Pos.X) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPosWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := randomPos(rng, 0.9)
+		if p.X < -0.9 || p.X > 0.9 || p.Y < -0.9 || p.Y > 0.9 {
+			t.Fatalf("randomPos out of bounds: %v", p)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadNetwork hardens the checkpoint parser: arbitrary byte strings
+// must never panic or allocate absurdly — they either parse to a valid
+// network or return an error.
+func FuzzReadNetwork(f *testing.F) {
+	// Seed with a valid checkpoint and a few mutations.
+	rng := rand.New(rand.NewSource(1))
+	net := NewMLP(rng, 3, 4, 2)
+	var buf bytes.Buffer
+	if _, err := net.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MLPN"))
+	mutated := append([]byte(nil), valid...)
+	mutated[6] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := ReadNetwork(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that parses must be usable.
+		if restored.NumParams() < 0 {
+			t.Fatal("negative param count")
+		}
+	})
+}
+
+// FuzzAdamReadInto hardens the optimizer-state parser the same way.
+func FuzzAdamReadInto(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	opt := NewAdam(NewMLP(rng, 2, 3, 1), 0.01)
+	var buf bytes.Buffer
+	if _, err := opt.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ADAM"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := NewAdam(NewMLP(rand.New(rand.NewSource(3)), 2, 3, 1), 0.01)
+		_ = target.ReadInto(bytes.NewReader(data)) // must not panic
+	})
+}

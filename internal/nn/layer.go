@@ -1,0 +1,153 @@
+// Package nn implements the small neural-network substrate the paper's
+// trainers need: dense layers with ReLU activations, backpropagation, an
+// Adam optimizer, target-network updates, and the softmax machinery used to
+// train discrete-action actors. Everything is pure Go over internal/tensor.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"marlperf/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a
+// batch×in matrix and produces batch×out; Backward consumes the gradient of
+// the loss with respect to the layer output and returns the gradient with
+// respect to the layer input, accumulating parameter gradients internally.
+type Layer interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	Params() []*tensor.Matrix
+	Grads() []*tensor.Matrix
+}
+
+// Dense is a fully connected layer computing y = x·W + b.
+type Dense struct {
+	W *tensor.Matrix // in×out
+	B *tensor.Matrix // 1×out
+
+	gradW *tensor.Matrix
+	gradB *tensor.Matrix
+
+	lastX  *tensor.Matrix // retained input for backward
+	out    *tensor.Matrix // forward scratch, resized per batch
+	gradIn *tensor.Matrix // backward scratch, resized per batch
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights and zero
+// biases, matching the paper's TF2 MLP initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:     tensor.New(in, out),
+		B:     tensor.New(1, out),
+		gradW: tensor.New(in, out),
+		gradB: tensor.New(1, out),
+	}
+	d.W.XavierInit(rng, in, out)
+	return d
+}
+
+// In returns the input width of the layer.
+func (d *Dense) In() int { return d.W.Rows }
+
+// Out returns the output width of the layer.
+func (d *Dense) Out() int { return d.W.Cols }
+
+// Forward computes y = x·W + b, retaining x for the backward pass.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.W.Rows {
+		panic(fmt.Sprintf("nn: Dense forward got width %d, want %d", x.Cols, d.W.Rows))
+	}
+	d.lastX = x
+	if d.out == nil || d.out.Rows != x.Rows {
+		d.out = tensor.New(x.Rows, d.W.Cols)
+	}
+	tensor.MatMulParallel(d.out, x, d.W)
+	d.out.AddRowVector(d.B.Data)
+	return d.out
+}
+
+// Backward accumulates ∂L/∂W and ∂L/∂b and returns ∂L/∂x.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense backward before forward")
+	}
+	if grad.Rows != d.lastX.Rows || grad.Cols != d.W.Cols {
+		panic(fmt.Sprintf("nn: Dense backward grad %dx%d, want %dx%d", grad.Rows, grad.Cols, d.lastX.Rows, d.W.Cols))
+	}
+	// gradW += xᵀ·grad  (accumulated; ZeroGrads clears between steps)
+	gw := tensor.New(d.W.Rows, d.W.Cols)
+	tensor.MatMulTransAParallel(gw, d.lastX, grad)
+	tensor.Add(d.gradW, d.gradW, gw)
+	// gradB += column sums of grad
+	sums := grad.SumRows(nil)
+	tensor.AXPY(d.gradB.Data, 1, sums)
+	// gradIn = grad·Wᵀ
+	if d.gradIn == nil || d.gradIn.Rows != grad.Rows {
+		d.gradIn = tensor.New(grad.Rows, d.W.Rows)
+	}
+	tensor.MatMulTransBParallel(d.gradIn, grad, d.W)
+	return d.gradIn
+}
+
+// Params returns the trainable tensors (weights then bias).
+func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
+
+// Grads returns the gradient tensors matching Params.
+func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.gradW, d.gradB} }
+
+// ReLU is the rectified-linear activation layer.
+type ReLU struct {
+	mask   []bool // true where the input was positive
+	out    *tensor.Matrix
+	gradIn *tensor.Matrix
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0), remembering the active mask.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	n := len(x.Data)
+	if r.out == nil || len(r.out.Data) != n {
+		r.out = tensor.New(x.Rows, x.Cols)
+		r.mask = make([]bool, n)
+	}
+	r.out.Rows, r.out.Cols = x.Rows, x.Cols
+	for i, v := range x.Data {
+		if v > 0 {
+			r.out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.out.Data[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.out
+}
+
+// Backward zeroes the gradient where the forward input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if r.mask == nil || len(grad.Data) != len(r.mask) {
+		panic("nn: ReLU backward shape does not match forward")
+	}
+	if r.gradIn == nil || len(r.gradIn.Data) != len(grad.Data) {
+		r.gradIn = tensor.New(grad.Rows, grad.Cols)
+	}
+	r.gradIn.Rows, r.gradIn.Cols = grad.Rows, grad.Cols
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			r.gradIn.Data[i] = g
+		} else {
+			r.gradIn.Data[i] = 0
+		}
+	}
+	return r.gradIn
+}
+
+// Params returns nil; ReLU has no trainable parameters.
+func (r *ReLU) Params() []*tensor.Matrix { return nil }
+
+// Grads returns nil; ReLU has no trainable parameters.
+func (r *ReLU) Grads() []*tensor.Matrix { return nil }

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"marlperf/internal/tensor"
+)
+
+// MSELoss computes the mean-squared-error loss between pred and target
+// (both batch×1 for the critics) and writes ∂L/∂pred into grad.
+// It returns the scalar loss.
+func MSELoss(grad, pred, target *tensor.Matrix) float64 {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSELoss shape mismatch %dx%d vs %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(pred.Data))
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// WeightedMSELoss is MSELoss with a per-sample importance weight w[i]
+// (PER / Lemma-1 compensation). pred and target are batch×1; weights has
+// one entry per row. It also writes the raw TD errors |pred-target| into
+// tdAbs when non-nil, which the PER sampler uses to refresh priorities.
+func WeightedMSELoss(grad, pred, target *tensor.Matrix, weights, tdAbs []float64) float64 {
+	if pred.Cols != 1 || target.Cols != 1 {
+		panic("nn: WeightedMSELoss expects batch×1 inputs")
+	}
+	if pred.Rows != target.Rows || len(weights) != pred.Rows {
+		panic(fmt.Sprintf("nn: WeightedMSELoss got %d preds, %d targets, %d weights", pred.Rows, target.Rows, len(weights)))
+	}
+	n := float64(pred.Rows)
+	var loss float64
+	for i := 0; i < pred.Rows; i++ {
+		d := pred.Data[i] - target.Data[i]
+		if tdAbs != nil {
+			tdAbs[i] = math.Abs(d)
+		}
+		w := weights[i]
+		loss += w * d * d
+		grad.Data[i] = 2 * w * d / n
+	}
+	return loss / n
+}
+
+// SoftmaxRows applies a row-wise softmax of src into dst (shapes must match;
+// dst may alias src). Each row is treated as one agent's action logits.
+func SoftmaxRows(dst, src *tensor.Matrix) *tensor.Matrix {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("nn: SoftmaxRows shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		tensor.Softmax(dst.Row(i), src.Row(i))
+	}
+	return dst
+}
+
+// SoftmaxBackwardRows converts ∂L/∂probs into ∂L/∂logits for a row-wise
+// softmax: ∂L/∂z_j = p_j·(g_j − Σ_k p_k·g_k). probs must hold the forward
+// softmax output. dst may alias gradProbs.
+func SoftmaxBackwardRows(dst, probs, gradProbs *tensor.Matrix) *tensor.Matrix {
+	if dst.Rows != probs.Rows || dst.Cols != probs.Cols || gradProbs.Rows != probs.Rows || gradProbs.Cols != probs.Cols {
+		panic("nn: SoftmaxBackwardRows shape mismatch")
+	}
+	for i := 0; i < probs.Rows; i++ {
+		p := probs.Row(i)
+		g := gradProbs.Row(i)
+		d := dst.Row(i)
+		dot := tensor.Dot(p, g)
+		for j := range p {
+			d[j] = p[j] * (g[j] - dot)
+		}
+	}
+	return dst
+}
+
+// SampleGumbel fills dst with Gumbel(0,1) noise: -log(-log(U)). The small
+// offsets keep the logs finite.
+func SampleGumbel(dst []float64, rng *rand.Rand) {
+	for i := range dst {
+		u := rng.Float64()
+		dst[i] = -math.Log(-math.Log(u+1e-20) + 1e-20)
+	}
+}
+
+// GumbelSoftmaxRow produces a differentiable sample from a categorical
+// distribution: softmax((logits + gumbel)/temperature). The reference
+// MADDPG implementation uses this relaxation for its discrete particle-env
+// actions. dst may alias logits.
+func GumbelSoftmaxRow(dst, logits []float64, temperature float64, rng *rand.Rand) {
+	if len(dst) != len(logits) {
+		panic("nn: GumbelSoftmaxRow length mismatch")
+	}
+	if temperature <= 0 {
+		panic("nn: GumbelSoftmaxRow temperature must be positive")
+	}
+	tmp := make([]float64, len(logits))
+	SampleGumbel(tmp, rng)
+	for i, l := range logits {
+		tmp[i] = (l + tmp[i]) / temperature
+	}
+	tensor.Softmax(dst, tmp)
+}

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"marlperf/internal/tensor"
+)
+
+// Network is a sequential stack of layers. The paper's actors and critics
+// are two-hidden-layer ReLU MLPs with 64 units per layer.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds a dense network with the given layer widths, inserting a
+// ReLU after every dense layer except the last (linear output head).
+// widths must contain at least an input and an output width.
+func NewMLP(rng *rand.Rand, widths ...int) *Network {
+	if len(widths) < 2 {
+		panic("nn: NewMLP needs at least input and output widths")
+	}
+	net := &Network{}
+	for i := 0; i+1 < len(widths); i++ {
+		net.Layers = append(net.Layers, NewDense(widths[i], widths[i+1], rng))
+		if i+2 < len(widths) {
+			net.Layers = append(net.Layers, NewReLU())
+		}
+	}
+	return net
+}
+
+// Forward runs the batch through every layer and returns the output.
+// The returned matrix is owned by the final layer and is overwritten by the
+// next Forward call.
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through every layer in reverse and
+// returns the gradient with respect to the network input.
+func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable tensors in layer order.
+func (n *Network) Params() []*tensor.Matrix {
+	var ps []*tensor.Matrix
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient tensors in the same order as Params.
+func (n *Network) Grads() []*tensor.Matrix {
+	var gs []*tensor.Matrix
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// HardCopy copies src's parameters into dst. The two networks must have the
+// same architecture. Used to initialize target networks.
+func HardCopy(dst, src *Network) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic("nn: HardCopy between different architectures")
+	}
+	for i := range dp {
+		dp[i].CopyFrom(sp[i])
+	}
+}
+
+// SoftUpdate performs the Polyak target update
+// target ← τ·src + (1-τ)·target used by MADDPG and MATD3 (τ=0.01 in the
+// paper's settings).
+func SoftUpdate(target, src *Network, tau float64) {
+	tp, sp := target.Params(), src.Params()
+	if len(tp) != len(sp) {
+		panic("nn: SoftUpdate between different architectures")
+	}
+	for i := range tp {
+		td, sd := tp[i].Data, sp[i].Data
+		for j := range td {
+			td[j] = tau*sd[j] + (1-tau)*td[j]
+		}
+	}
+}
+
+// ClipGradients scales all gradients down so their global L2 norm does not
+// exceed maxNorm (matching the gradient clipping of the reference MADDPG
+// implementation, clip norm 0.5). It returns the pre-clip norm.
+func (n *Network) ClipGradients(maxNorm float64) float64 {
+	var sq float64
+	grads := n.Grads()
+	for _, g := range grads {
+		for _, v := range g.Data {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			g.Scale(scale)
+		}
+	}
+	return norm
+}

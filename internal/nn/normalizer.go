@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// RunningNormalizer tracks a running mean and variance per feature using
+// Welford's online algorithm and standardizes observation vectors with
+// them. Observation normalization is a standard stabilization technique in
+// RL libraries; trainers can apply it per agent when observation scales
+// vary widely (e.g. velocities vs relative positions in the particle
+// environments).
+type RunningNormalizer struct {
+	dim   int
+	count float64
+	mean  []float64
+	m2    []float64 // sum of squared deviations
+
+	// ClipRange limits standardized values to ±ClipRange (0 disables).
+	ClipRange float64
+	// Eps stabilizes division for near-constant features.
+	Eps float64
+}
+
+// NewRunningNormalizer returns a normalizer for dim-wide vectors with the
+// conventional clip at ±5 standard deviations.
+func NewRunningNormalizer(dim int) *RunningNormalizer {
+	if dim < 1 {
+		panic(fmt.Sprintf("nn: normalizer dim %d, want ≥1", dim))
+	}
+	return &RunningNormalizer{
+		dim:       dim,
+		mean:      make([]float64, dim),
+		m2:        make([]float64, dim),
+		ClipRange: 5,
+		Eps:       1e-8,
+	}
+}
+
+// Dim returns the feature width.
+func (n *RunningNormalizer) Dim() int { return n.dim }
+
+// Count returns how many vectors have been observed.
+func (n *RunningNormalizer) Count() float64 { return n.count }
+
+// Observe folds one raw vector into the running statistics.
+func (n *RunningNormalizer) Observe(v []float64) {
+	if len(v) != n.dim {
+		panic(fmt.Sprintf("nn: normalizer observed width %d, want %d", len(v), n.dim))
+	}
+	n.count++
+	for i, x := range v {
+		delta := x - n.mean[i]
+		n.mean[i] += delta / n.count
+		n.m2[i] += delta * (x - n.mean[i])
+	}
+}
+
+// Mean returns the running mean of feature i.
+func (n *RunningNormalizer) Mean(i int) float64 { return n.mean[i] }
+
+// Std returns the running standard deviation of feature i (0 until two
+// observations have been seen).
+func (n *RunningNormalizer) Std(i int) float64 {
+	if n.count < 2 {
+		return 0
+	}
+	return math.Sqrt(n.m2[i] / (n.count - 1))
+}
+
+// Normalize writes the standardized form of src into dst (which may alias
+// src): (x - mean) / (std + eps), clipped to ±ClipRange. Before any
+// observations it is the identity.
+func (n *RunningNormalizer) Normalize(dst, src []float64) {
+	if len(dst) != n.dim || len(src) != n.dim {
+		panic(fmt.Sprintf("nn: normalize widths %d/%d, want %d", len(dst), len(src), n.dim))
+	}
+	if n.count < 2 {
+		copy(dst, src)
+		return
+	}
+	for i, x := range src {
+		std := n.Std(i)
+		y := (x - n.mean[i]) / (std + n.Eps)
+		if n.ClipRange > 0 {
+			if y > n.ClipRange {
+				y = n.ClipRange
+			} else if y < -n.ClipRange {
+				y = -n.ClipRange
+			}
+		}
+		dst[i] = y
+	}
+}
+
+// ObserveAndNormalize folds src into the statistics and then standardizes
+// it into dst in one call (the common online-training pattern).
+func (n *RunningNormalizer) ObserveAndNormalize(dst, src []float64) {
+	n.Observe(src)
+	n.Normalize(dst, src)
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizerIdentityBeforeData(t *testing.T) {
+	n := NewRunningNormalizer(3)
+	src := []float64{1, -2, 3}
+	dst := make([]float64, 3)
+	n.Normalize(dst, src)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("pre-data normalize changed values: %v", dst)
+		}
+	}
+}
+
+func TestNormalizerMeanAndStd(t *testing.T) {
+	n := NewRunningNormalizer(1)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		n.Observe([]float64{v})
+	}
+	if got := n.Mean(0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := n.Std(0); math.Abs(got-2.1381) > 1e-3 {
+		t.Fatalf("Std = %v, want ≈2.138", got)
+	}
+	if n.Count() != 8 {
+		t.Fatalf("Count = %v", n.Count())
+	}
+}
+
+func TestNormalizerStandardizesGaussianStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewRunningNormalizer(2)
+	// Feature 0: N(10, 4); feature 1: N(-3, 0.25).
+	for i := 0; i < 5000; i++ {
+		n.Observe([]float64{10 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()})
+	}
+	dst := make([]float64, 2)
+	// A point one std above each mean should normalize to ≈1.
+	n.Normalize(dst, []float64{12, -2.5})
+	if math.Abs(dst[0]-1) > 0.1 || math.Abs(dst[1]-1) > 0.1 {
+		t.Fatalf("normalized = %v, want ≈[1 1]", dst)
+	}
+}
+
+func TestNormalizerClips(t *testing.T) {
+	n := NewRunningNormalizer(1)
+	n.ClipRange = 2
+	for i := 0; i < 100; i++ {
+		n.Observe([]float64{float64(i % 3)}) // mean 1, std ≈ 0.82
+	}
+	dst := make([]float64, 1)
+	n.Normalize(dst, []float64{1000})
+	if dst[0] != 2 {
+		t.Fatalf("clip high = %v, want 2", dst[0])
+	}
+	n.Normalize(dst, []float64{-1000})
+	if dst[0] != -2 {
+		t.Fatalf("clip low = %v, want -2", dst[0])
+	}
+}
+
+func TestNormalizerConstantFeatureStable(t *testing.T) {
+	n := NewRunningNormalizer(1)
+	for i := 0; i < 50; i++ {
+		n.Observe([]float64{7})
+	}
+	dst := make([]float64, 1)
+	n.Normalize(dst, []float64{7})
+	if math.IsNaN(dst[0]) || math.IsInf(dst[0], 0) {
+		t.Fatalf("constant feature normalized to %v", dst[0])
+	}
+}
+
+func TestNormalizerObserveAndNormalize(t *testing.T) {
+	n := NewRunningNormalizer(1)
+	dst := make([]float64, 1)
+	n.ObserveAndNormalize(dst, []float64{1})
+	n.ObserveAndNormalize(dst, []float64{3})
+	if n.Count() != 2 {
+		t.Fatalf("Count = %v, want 2", n.Count())
+	}
+}
+
+func TestNormalizerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dim":  func() { NewRunningNormalizer(0) },
+		"bad width": func() { NewRunningNormalizer(2).Observe([]float64{1}) },
+		"bad norm":  func() { NewRunningNormalizer(2).Normalize(make([]float64, 1), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Welford's running mean matches the batch mean for any stream.
+func TestNormalizerWelfordMatchesBatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := NewRunningNormalizer(1)
+		count := 2 + r.Intn(60)
+		var sum float64
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 10
+			sum += vals[i]
+			n.Observe([]float64{vals[i]})
+		}
+		mean := sum / float64(count)
+		if math.Abs(n.Mean(0)-mean) > 1e-9*(1+math.Abs(mean)) {
+			return false
+		}
+		var sq float64
+		for _, v := range vals {
+			sq += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(sq / float64(count-1))
+		return math.Abs(n.Std(0)-std) < 1e-9*(1+std)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"marlperf/internal/tensor"
+)
+
+// Binary checkpoint format for networks and optimizers. Layout (all values
+// little-endian):
+//
+//	network:  magic "MLPN" | uint32 layerCount | per layer:
+//	          uint8 kind (0=dense, 1=relu) | dense only: uint32 in, out,
+//	          in·out weight float64s, out bias float64s
+//	adam:     magic "ADAM" | float64 lr, beta1, beta2, eps | uint64 t |
+//	          uint32 paramCount | per param: uint32 len, len float64s (m),
+//	          len float64s (v)
+//
+// RNG state is not serialized; a restored trainer continues from a fresh
+// exploration stream.
+
+const (
+	netMagic  = "MLPN"
+	adamMagic = "ADAM"
+
+	kindDense = 0
+	kindReLU  = 1
+)
+
+// WriteTo serializes the network's architecture and parameters.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if _, err := cw.Write([]byte(netMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, uint32(len(n.Layers))); err != nil {
+		return cw.n, err
+	}
+	for i, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			if err := writeU8(cw, kindDense); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(layer.In())); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(layer.Out())); err != nil {
+				return cw.n, err
+			}
+			if err := writeF64s(cw, layer.W.Data); err != nil {
+				return cw.n, err
+			}
+			if err := writeF64s(cw, layer.B.Data); err != nil {
+				return cw.n, err
+			}
+		case *ReLU:
+			if err := writeU8(cw, kindReLU); err != nil {
+				return cw.n, err
+			}
+		default:
+			return cw.n, fmt.Errorf("nn: cannot serialize layer %d of type %T", i, l)
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadNetwork deserializes a network written by WriteTo.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading network magic: %w", err)
+	}
+	if string(magic[:]) != netMagic {
+		return nil, fmt.Errorf("nn: bad network magic %q", magic)
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxLayers = 1 << 16
+	if count > maxLayers {
+		return nil, fmt.Errorf("nn: implausible layer count %d", count)
+	}
+	net := &Network{}
+	for i := uint32(0); i < count; i++ {
+		kind, err := readU8(r)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case kindDense:
+			in, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			out, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			const maxDim = 1 << 24
+			if in == 0 || out == 0 || in > maxDim || out > maxDim {
+				return nil, fmt.Errorf("nn: implausible dense dims %dx%d", in, out)
+			}
+			d := &Dense{
+				W:     tensor.New(int(in), int(out)),
+				B:     tensor.New(1, int(out)),
+				gradW: tensor.New(int(in), int(out)),
+				gradB: tensor.New(1, int(out)),
+			}
+			if err := readF64s(r, d.W.Data); err != nil {
+				return nil, err
+			}
+			if err := readF64s(r, d.B.Data); err != nil {
+				return nil, err
+			}
+			net.Layers = append(net.Layers, d)
+		case kindReLU:
+			net.Layers = append(net.Layers, NewReLU())
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %d", kind)
+		}
+	}
+	return net, nil
+}
+
+// WriteTo serializes the optimizer's hyperparameters and moment estimates.
+// The optimizer must be re-bound to its network with NewAdam before
+// ReadInto restores the state.
+func (a *Adam) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if _, err := cw.Write([]byte(adamMagic)); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []float64{a.LR, a.Beta1, a.Beta2, a.Eps} {
+		if err := writeF64(cw, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeU64(cw, uint64(a.t)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, uint32(len(a.m))); err != nil {
+		return cw.n, err
+	}
+	for i := range a.m {
+		if err := writeU32(cw, uint32(len(a.m[i]))); err != nil {
+			return cw.n, err
+		}
+		if err := writeF64s(cw, a.m[i]); err != nil {
+			return cw.n, err
+		}
+		if err := writeF64s(cw, a.v[i]); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadInto restores optimizer state written by WriteTo. The receiver must
+// already be bound to a network of the same architecture.
+func (a *Adam) ReadInto(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading adam magic: %w", err)
+	}
+	if string(magic[:]) != adamMagic {
+		return fmt.Errorf("nn: bad adam magic %q", magic)
+	}
+	vals := make([]float64, 4)
+	for i := range vals {
+		v, err := readF64(r)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	a.LR, a.Beta1, a.Beta2, a.Eps = vals[0], vals[1], vals[2], vals[3]
+	t, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	a.t = int(t)
+	count, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if int(count) != len(a.m) {
+		return fmt.Errorf("nn: checkpoint has %d params, optimizer has %d", count, len(a.m))
+	}
+	for i := uint32(0); i < count; i++ {
+		n, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if int(n) != len(a.m[i]) {
+			return fmt.Errorf("nn: checkpoint param %d has %d values, optimizer has %d", i, n, len(a.m[i]))
+		}
+		if err := readF64s(r, a.m[i]); err != nil {
+			return err
+		}
+		if err := readF64s(r, a.v[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- encoding helpers ---
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU8(w io.Writer, v uint8) error {
+	_, err := w.Write([]byte{v})
+	return err
+}
+
+func readU8(r io.Reader) (uint8, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r, b[:])
+	return b[0], err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	_, err := io.ReadFull(r, b[:])
+	return binary.LittleEndian.Uint32(b[:]), err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	_, err := io.ReadFull(r, b[:])
+	return binary.LittleEndian.Uint64(b[:]), err
+}
+
+func writeF64(w io.Writer, v float64) error {
+	return writeU64(w, math.Float64bits(v))
+}
+
+func readF64(r io.Reader) (float64, error) {
+	u, err := readU64(r)
+	return math.Float64frombits(u), err
+}
+
+func writeF64s(w io.Writer, vs []float64) error {
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readF64s(r io.Reader, dst []float64) error {
+	buf := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package plot renders small terminal visualizations — sparklines and
+// horizontal bar charts — used by the CLI tools to show reward curves and
+// phase breakdowns without leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eighth-block characters from empty to full.
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders vs as a one-line unicode sparkline scaled to the data
+// range. An empty slice yields an empty string; a constant series renders
+// at mid height.
+func Sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range vs {
+		var level int
+		if span == 0 {
+			level = len(sparkLevels) / 2
+		} else {
+			level = 1 + int((v-lo)/span*float64(len(sparkLevels)-2))
+			if level >= len(sparkLevels) {
+				level = len(sparkLevels) - 1
+			}
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal bar chart. Values must be non-negative;
+// bars are scaled so the largest spans width characters.
+func Bar(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("plot: %d labels for %d values", len(labels), len(values)))
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v < 0 {
+			panic(fmt.Sprintf("plot: negative bar value %v", v))
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s %s %.4g\n", maxLabel, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// Series renders several aligned sparklines with labels and final values —
+// the compact reward-curve comparison the CLI tools print.
+func Series(labels []string, series [][]float64) string {
+	if len(labels) != len(series) {
+		panic(fmt.Sprintf("plot: %d labels for %d series", len(labels), len(series)))
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, s := range series {
+		last := math.NaN()
+		if len(s) > 0 {
+			last = s[len(s)-1]
+		}
+		fmt.Fprintf(&b, "%-*s %s %.4g\n", maxLabel, labels[i], Sparkline(s), last)
+	}
+	return b.String()
+}

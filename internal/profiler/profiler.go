@@ -1,0 +1,172 @@
+// Package profiler provides the phase-level timing instrumentation used to
+// reproduce the paper's training-time breakdowns (Figures 2, 3 and 6): wall
+// time per training phase, call counts, and percentage reports.
+package profiler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one stage of the MARL training loop.
+type Phase int
+
+// Phases of the training loop. ActionSelection, EnvStep and ReplayAdd make
+// up the interaction stage; Sampling, TargetQ and QPLoss make up the
+// "update all trainers" stage the paper drills into.
+const (
+	PhaseActionSelection Phase = iota
+	PhaseEnvStep
+	PhaseReplayAdd
+	PhaseSampling
+	PhaseTargetQ
+	PhaseQPLoss
+	PhaseLayoutReorg
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"action-selection",
+	"env-step",
+	"replay-add",
+	"mini-batch-sampling",
+	"target-q",
+	"q-loss-p-loss",
+	"layout-reorg",
+}
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Phases lists every phase in report order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Profile accumulates wall time and call counts per phase. The zero value
+// is ready to use. Not safe for concurrent use; the training loop is
+// single-threaded like the paper's sampling path.
+type Profile struct {
+	durations [numPhases]time.Duration
+	counts    [numPhases]uint64
+	started   [numPhases]time.Time
+	running   [numPhases]bool
+}
+
+// Start begins timing phase p; nested starts of the same phase panic.
+func (pr *Profile) Start(p Phase) {
+	if pr.running[p] {
+		panic(fmt.Sprintf("profiler: phase %v started twice", p))
+	}
+	pr.running[p] = true
+	pr.started[p] = time.Now()
+}
+
+// Stop ends timing phase p, accumulating the elapsed wall time.
+func (pr *Profile) Stop(p Phase) {
+	if !pr.running[p] {
+		panic(fmt.Sprintf("profiler: phase %v stopped without start", p))
+	}
+	pr.durations[p] += time.Since(pr.started[p])
+	pr.counts[p]++
+	pr.running[p] = false
+}
+
+// Add directly accumulates a duration (for externally timed work).
+func (pr *Profile) Add(p Phase, d time.Duration) {
+	pr.durations[p] += d
+	pr.counts[p]++
+}
+
+// Duration returns the accumulated wall time of phase p.
+func (pr *Profile) Duration(p Phase) time.Duration { return pr.durations[p] }
+
+// Count returns how many times phase p completed.
+func (pr *Profile) Count(p Phase) uint64 { return pr.counts[p] }
+
+// Total returns the sum of all phase durations.
+func (pr *Profile) Total() time.Duration {
+	var t time.Duration
+	for _, d := range pr.durations {
+		t += d
+	}
+	return t
+}
+
+// UpdateTrainers returns the combined duration of the "update all trainers"
+// stage: mini-batch sampling + target-Q + Q-loss/P-loss (+ layout reorg
+// when enabled).
+func (pr *Profile) UpdateTrainers() time.Duration {
+	return pr.durations[PhaseSampling] + pr.durations[PhaseTargetQ] +
+		pr.durations[PhaseQPLoss] + pr.durations[PhaseLayoutReorg]
+}
+
+// Interaction returns the combined duration of the environment-interaction
+// stage: action selection + env step + replay add.
+func (pr *Profile) Interaction() time.Duration {
+	return pr.durations[PhaseActionSelection] + pr.durations[PhaseEnvStep] +
+		pr.durations[PhaseReplayAdd]
+}
+
+// Percent returns phase p's share of the total in [0, 100].
+func (pr *Profile) Percent(p Phase) float64 {
+	total := pr.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(pr.durations[p]) / float64(total)
+}
+
+// PercentOfUpdate returns phase p's share of the update-all-trainers stage.
+func (pr *Profile) PercentOfUpdate(p Phase) float64 {
+	upd := pr.UpdateTrainers()
+	if upd == 0 {
+		return 0
+	}
+	return 100 * float64(pr.durations[p]) / float64(upd)
+}
+
+// Reset clears all accumulated data.
+func (pr *Profile) Reset() { *pr = Profile{} }
+
+// Merge accumulates other's durations and counts into pr.
+func (pr *Profile) Merge(other *Profile) {
+	for i := range pr.durations {
+		pr.durations[i] += other.durations[i]
+		pr.counts[i] += other.counts[i]
+	}
+}
+
+// Report renders a human-readable per-phase table.
+func (pr *Profile) Report() string {
+	var b strings.Builder
+	total := pr.Total()
+	fmt.Fprintf(&b, "%-22s %12s %8s %8s\n", "phase", "time", "calls", "share")
+	for _, p := range Phases() {
+		if pr.counts[p] == 0 && pr.durations[p] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %12v %8d %7.1f%%\n", p, pr.durations[p].Round(time.Microsecond), pr.counts[p], pr.Percent(p))
+	}
+	fmt.Fprintf(&b, "%-22s %12v\n", "total", total.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-22s %12v (%.1f%% of total)\n", "update-all-trainers", pr.UpdateTrainers().Round(time.Microsecond),
+		percentOf(pr.UpdateTrainers(), total))
+	return b.String()
+}
+
+func percentOf(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,119 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartStopAccumulates(t *testing.T) {
+	var p Profile
+	p.Start(PhaseSampling)
+	time.Sleep(2 * time.Millisecond)
+	p.Stop(PhaseSampling)
+	if p.Duration(PhaseSampling) < time.Millisecond {
+		t.Fatalf("duration = %v, want ≥1ms", p.Duration(PhaseSampling))
+	}
+	if p.Count(PhaseSampling) != 1 {
+		t.Fatalf("count = %d, want 1", p.Count(PhaseSampling))
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	var p Profile
+	p.Start(PhaseTargetQ)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	p.Start(PhaseTargetQ)
+}
+
+func TestStopWithoutStartPanics(t *testing.T) {
+	var p Profile
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stop without Start did not panic")
+		}
+	}()
+	p.Stop(PhaseQPLoss)
+}
+
+func TestAddAndTotals(t *testing.T) {
+	var p Profile
+	p.Add(PhaseSampling, 60*time.Millisecond)
+	p.Add(PhaseTargetQ, 25*time.Millisecond)
+	p.Add(PhaseQPLoss, 15*time.Millisecond)
+	p.Add(PhaseActionSelection, 50*time.Millisecond)
+	p.Add(PhaseEnvStep, 30*time.Millisecond)
+	p.Add(PhaseReplayAdd, 20*time.Millisecond)
+
+	if got := p.Total(); got != 200*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := p.UpdateTrainers(); got != 100*time.Millisecond {
+		t.Fatalf("UpdateTrainers = %v", got)
+	}
+	if got := p.Interaction(); got != 100*time.Millisecond {
+		t.Fatalf("Interaction = %v", got)
+	}
+	if got := p.Percent(PhaseSampling); got != 30 {
+		t.Fatalf("Percent(sampling) = %v, want 30", got)
+	}
+	if got := p.PercentOfUpdate(PhaseSampling); got != 60 {
+		t.Fatalf("PercentOfUpdate(sampling) = %v, want 60", got)
+	}
+}
+
+func TestPercentZeroTotal(t *testing.T) {
+	var p Profile
+	if p.Percent(PhaseSampling) != 0 || p.PercentOfUpdate(PhaseSampling) != 0 {
+		t.Fatal("empty profile should report 0%")
+	}
+}
+
+func TestResetAndMerge(t *testing.T) {
+	var a, b Profile
+	a.Add(PhaseSampling, time.Second)
+	b.Add(PhaseSampling, 2*time.Second)
+	b.Add(PhaseTargetQ, time.Second)
+	a.Merge(&b)
+	if a.Duration(PhaseSampling) != 3*time.Second || a.Duration(PhaseTargetQ) != time.Second {
+		t.Fatalf("Merge: %v/%v", a.Duration(PhaseSampling), a.Duration(PhaseTargetQ))
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("Reset should clear all durations")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseSampling.String() != "mini-batch-sampling" {
+		t.Fatalf("String = %q", PhaseSampling.String())
+	}
+	if got := Phase(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("out-of-range phase String = %q", got)
+	}
+}
+
+func TestPhasesCoversAll(t *testing.T) {
+	if len(Phases()) != int(numPhases) {
+		t.Fatalf("Phases() returned %d, want %d", len(Phases()), numPhases)
+	}
+}
+
+func TestReportContainsPhases(t *testing.T) {
+	var p Profile
+	p.Add(PhaseSampling, 10*time.Millisecond)
+	p.Add(PhaseTargetQ, 5*time.Millisecond)
+	r := p.Report()
+	for _, want := range []string{"mini-batch-sampling", "target-q", "update-all-trainers", "total"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Report missing %q:\n%s", want, r)
+		}
+	}
+	if strings.Contains(r, "env-step") {
+		t.Fatal("Report should omit phases with no data")
+	}
+}

@@ -1,0 +1,113 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fillWithEpisodes adds n transitions where every epLen-th transition is an
+// episode terminal (done=1), mirroring the trainer's fixed-length episodes.
+func fillWithEpisodes(b *Buffer, n, epLen int) {
+	spec := b.Spec()
+	obs := make([][]float64, spec.NumAgents)
+	act := make([][]float64, spec.NumAgents)
+	rew := make([]float64, spec.NumAgents)
+	nextObs := make([][]float64, spec.NumAgents)
+	done := make([]float64, spec.NumAgents)
+	for a := 0; a < spec.NumAgents; a++ {
+		obs[a] = make([]float64, spec.ObsDims[a])
+		nextObs[a] = make([]float64, spec.ObsDims[a])
+		act[a] = make([]float64, spec.ActDim)
+	}
+	for t := 0; t < n; t++ {
+		flag := 0.0
+		if (t+1)%epLen == 0 {
+			flag = 1
+		}
+		for a := range done {
+			done[a] = flag
+		}
+		b.Add(obs, act, rew, nextObs, done)
+	}
+}
+
+func TestEpisodeAwareRunsNeverCrossBoundaries(t *testing.T) {
+	const epLen = 25
+	b := NewBuffer(testSpec(512))
+	fillWithEpisodes(b, 500, epLen)
+	s := NewEpisodeAwareLocalitySampler(b, 16, 64)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		sample := s.Sample(256, rng)
+		if len(sample.Indices) != 256 {
+			t.Fatalf("got %d indices", len(sample.Indices))
+		}
+		// Within each run (consecutive indices), no interior element may be
+		// a terminal: a done flag must be the last element of its run.
+		for i := 0; i+1 < len(sample.Indices); i++ {
+			cur, next := sample.Indices[i], sample.Indices[i+1]
+			if next == (cur+1)%b.Len() && b.done[0][cur] != 0 {
+				t.Fatalf("run continued past terminal at index %d", cur)
+			}
+		}
+	}
+}
+
+func TestEpisodeAwareFallsBackToPlainLocalityWithoutTerminals(t *testing.T) {
+	b := NewBuffer(testSpec(256))
+	fillBuffer(b, 200) // fillBuffer writes done = t%2 — has terminals
+	// Build a terminal-free buffer instead.
+	b2 := NewBuffer(testSpec(256))
+	fillWithEpisodes(b2, 200, 1_000_000) // no terminal within range
+	s := NewEpisodeAwareLocalitySampler(b2, 8, 4)
+	sample := s.Sample(32, rand.New(rand.NewSource(2)))
+	// With no terminals every run is full-length: exactly 32/8 = 4 refs.
+	if len(sample.Refs) != 4 {
+		t.Fatalf("refs = %d, want 4 with no terminals", len(sample.Refs))
+	}
+}
+
+func TestEpisodeAwareStillFillsExactBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuffer(testSpec(256))
+		fillWithEpisodes(b, 50+r.Intn(200), 2+r.Intn(10))
+		s := NewEpisodeAwareLocalitySampler(b, 1+r.Intn(16), 1+r.Intn(8))
+		n := 1 + r.Intn(128)
+		sample := s.Sample(n, r)
+		if len(sample.Indices) != n {
+			return false
+		}
+		for _, idx := range sample.Indices {
+			if idx < 0 || idx >= b.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpisodeAwareBadParamsPanics(t *testing.T) {
+	b := NewBuffer(testSpec(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero refs did not panic")
+		}
+	}()
+	NewEpisodeAwareLocalitySampler(b, 4, 0)
+}
+
+func TestEpisodeAwareEmptyBufferPanics(t *testing.T) {
+	b := NewBuffer(testSpec(8))
+	s := NewEpisodeAwareLocalitySampler(b, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty buffer did not panic")
+		}
+	}()
+	s.Sample(4, rand.New(rand.NewSource(1)))
+}

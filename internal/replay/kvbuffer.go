@@ -1,0 +1,204 @@
+package replay
+
+import (
+	"fmt"
+)
+
+// KVBuffer is the paper's transition data-layout reorganization (§IV-B2):
+// instead of per-agent buffers in distant allocations, the replay store
+// becomes a key-value table where the key is the time index and the value
+// is every agent's transition for that step, laid out contiguously. A
+// mini-batch gather then runs one loop of m row copies — O(m) instead of
+// the baseline O(N·m) scattered gathers — and a single row access brings
+// all agents' data through the cache together.
+type KVBuffer struct {
+	spec Spec
+
+	rowStride  int   // float64s per row (all agents, all fields)
+	obsOff     []int // per-agent offset of obs within a row
+	actOff     []int
+	rewOff     []int
+	nextObsOff []int
+	doneOff    []int
+
+	data   []float64 // capacity·rowStride, one contiguous allocation
+	length int
+	next   int
+
+	tracer Tracer
+	base   uint64
+}
+
+// NewKVBuffer allocates an empty key-value replay table for spec.
+func NewKVBuffer(spec Spec) *KVBuffer {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	k := &KVBuffer{spec: spec, base: 1 << 40}
+	k.obsOff = make([]int, spec.NumAgents)
+	k.actOff = make([]int, spec.NumAgents)
+	k.rewOff = make([]int, spec.NumAgents)
+	k.nextObsOff = make([]int, spec.NumAgents)
+	k.doneOff = make([]int, spec.NumAgents)
+	off := 0
+	for a := 0; a < spec.NumAgents; a++ {
+		od := spec.ObsDims[a]
+		k.obsOff[a] = off
+		off += od
+		k.actOff[a] = off
+		off += spec.ActDim
+		k.rewOff[a] = off
+		off++
+		k.nextObsOff[a] = off
+		off += od
+		k.doneOff[a] = off
+		off++
+	}
+	k.rowStride = off
+	k.data = make([]float64, spec.Capacity*off)
+	return k
+}
+
+// ReorganizeFrom rebuilds the key-value table from a baseline per-agent
+// buffer — the data-reshaping pass whose cost Figure 14 charges against the
+// layout's sampling-phase savings. It returns the number of transitions
+// copied.
+func (k *KVBuffer) ReorganizeFrom(b *Buffer) int {
+	if b.spec.NumAgents != k.spec.NumAgents || b.spec.ActDim != k.spec.ActDim {
+		panic("replay: ReorganizeFrom spec mismatch")
+	}
+	for a, d := range b.spec.ObsDims {
+		if d != k.spec.ObsDims[a] {
+			panic(fmt.Sprintf("replay: ReorganizeFrom obs dim mismatch for agent %d", a))
+		}
+	}
+	n := b.Len()
+	if n > k.spec.Capacity {
+		n = k.spec.Capacity
+	}
+	ad := k.spec.ActDim
+	for idx := 0; idx < n; idx++ {
+		row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
+		for a := 0; a < k.spec.NumAgents; a++ {
+			od := k.spec.ObsDims[a]
+			copy(row[k.obsOff[a]:k.obsOff[a]+od], b.obs[a][idx*od:(idx+1)*od])
+			copy(row[k.actOff[a]:k.actOff[a]+ad], b.act[a][idx*ad:(idx+1)*ad])
+			row[k.rewOff[a]] = b.rew[a][idx]
+			copy(row[k.nextObsOff[a]:k.nextObsOff[a]+od], b.nextObs[a][idx*od:(idx+1)*od])
+			row[k.doneOff[a]] = b.done[a][idx]
+		}
+	}
+	k.length = n
+	k.next = b.next % k.spec.Capacity
+	return n
+}
+
+// Add stores one environment step for all agents directly in interleaved
+// form (the maintained-incrementally mode) and returns the slot index.
+func (k *KVBuffer) Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) int {
+	n := k.spec.NumAgents
+	if len(obs) != n || len(act) != n || len(rew) != n || len(nextObs) != n || len(done) != n {
+		panic(fmt.Sprintf("replay: KVBuffer.Add got %d/%d/%d/%d/%d rows, want %d each", len(obs), len(act), len(rew), len(nextObs), len(done), n))
+	}
+	idx := k.next
+	row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
+	ad := k.spec.ActDim
+	for a := 0; a < n; a++ {
+		od := k.spec.ObsDims[a]
+		copy(row[k.obsOff[a]:k.obsOff[a]+od], obs[a])
+		copy(row[k.actOff[a]:k.actOff[a]+ad], act[a])
+		row[k.rewOff[a]] = rew[a]
+		copy(row[k.nextObsOff[a]:k.nextObsOff[a]+od], nextObs[a])
+		row[k.doneOff[a]] = done[a]
+	}
+	k.next = (k.next + 1) % k.spec.Capacity
+	if k.length < k.spec.Capacity {
+		k.length++
+	}
+	return idx
+}
+
+// Len returns the number of stored transitions.
+func (k *KVBuffer) Len() int { return k.length }
+
+// Spec returns the table's shape description.
+func (k *KVBuffer) Spec() Spec { return k.spec }
+
+// RowStride returns the float64 count of one interleaved row.
+func (k *KVBuffer) RowStride() int { return k.rowStride }
+
+// SetTracer installs (or clears) the address tracer.
+func (k *KVBuffer) SetTracer(t Tracer) { k.tracer = t }
+
+// GatherRows copies the full interleaved rows at indices into dst — the
+// pure O(m) inter-agent sampling loop of §IV-B2 (one contiguous copy per
+// key, no per-agent handling). dst must hold at least
+// len(indices)·RowStride() float64s.
+func (k *KVBuffer) GatherRows(indices []int, dst []float64) {
+	if len(dst) < len(indices)*k.rowStride {
+		panic(fmt.Sprintf("replay: GatherRows dst %d floats for %d rows of %d", len(dst), len(indices), k.rowStride))
+	}
+	for rowN, idx := range indices {
+		if idx < 0 || idx >= k.length {
+			panic(fmt.Sprintf("replay: KVBuffer gather index %d outside [0,%d)", idx, k.length))
+		}
+		if k.tracer != nil {
+			k.tracer.Access(k.base+uint64(idx*k.rowStride*8), k.rowStride*8)
+		}
+		copy(dst[rowN*k.rowStride:(rowN+1)*k.rowStride], k.data[idx*k.rowStride:(idx+1)*k.rowStride])
+	}
+}
+
+// SplitRows reshapes count gathered interleaved rows (from GatherRows) into
+// the per-agent batch tensors the networks consume — the "data reshaping"
+// pass whose cost Figure 14 charges against the layout's sampling savings.
+func (k *KVBuffer) SplitRows(rows []float64, count int, dst []*AgentBatch) {
+	if len(dst) != k.spec.NumAgents {
+		panic(fmt.Sprintf("replay: SplitRows got %d batches for %d agents", len(dst), k.spec.NumAgents))
+	}
+	if len(rows) < count*k.rowStride {
+		panic(fmt.Sprintf("replay: SplitRows got %d floats for %d rows of %d", len(rows), count, k.rowStride))
+	}
+	ad := k.spec.ActDim
+	for rowN := 0; rowN < count; rowN++ {
+		row := rows[rowN*k.rowStride : (rowN+1)*k.rowStride]
+		for a := 0; a < k.spec.NumAgents; a++ {
+			od := k.spec.ObsDims[a]
+			d := dst[a]
+			copy(d.Obs.Row(rowN), row[k.obsOff[a]:k.obsOff[a]+od])
+			copy(d.Act.Row(rowN), row[k.actOff[a]:k.actOff[a]+ad])
+			d.Rew.Data[rowN] = row[k.rewOff[a]]
+			copy(d.NextObs.Row(rowN), row[k.nextObsOff[a]:k.nextObsOff[a]+od])
+			d.Done.Data[rowN] = row[k.doneOff[a]]
+		}
+	}
+}
+
+// GatherAll copies the transitions at indices for every agent in a single
+// loop over rows — the O(m) sampling path with the per-agent split fused in
+// (the layout this repository's trainer uses). dst must hold one AgentBatch
+// per agent.
+func (k *KVBuffer) GatherAll(indices []int, dst []*AgentBatch) {
+	if len(dst) != k.spec.NumAgents {
+		panic(fmt.Sprintf("replay: KVBuffer.GatherAll got %d batches for %d agents", len(dst), k.spec.NumAgents))
+	}
+	ad := k.spec.ActDim
+	for rowN, idx := range indices {
+		if idx < 0 || idx >= k.length {
+			panic(fmt.Sprintf("replay: KVBuffer gather index %d outside [0,%d)", idx, k.length))
+		}
+		row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
+		if k.tracer != nil {
+			k.tracer.Access(k.base+uint64(idx*k.rowStride*8), k.rowStride*8)
+		}
+		for a := 0; a < k.spec.NumAgents; a++ {
+			od := k.spec.ObsDims[a]
+			d := dst[a]
+			copy(d.Obs.Row(rowN), row[k.obsOff[a]:k.obsOff[a]+od])
+			copy(d.Act.Row(rowN), row[k.actOff[a]:k.actOff[a]+ad])
+			d.Rew.Data[rowN] = row[k.rewOff[a]]
+			copy(d.NextObs.Row(rowN), row[k.nextObsOff[a]:k.nextObsOff[a]+od])
+			d.Done.Data[rowN] = row[k.doneOff[a]]
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBufferRowStride(t *testing.T) {
+	k := NewKVBuffer(testSpec(8))
+	// Per agent: 2·obsDim + actDim + 2. Agents have obs 4, 4, 6; act 5.
+	want := (2*4 + 5 + 2) + (2*4 + 5 + 2) + (2*6 + 5 + 2)
+	if k.RowStride() != want {
+		t.Fatalf("RowStride = %d, want %d", k.RowStride(), want)
+	}
+}
+
+func TestKVReorganizeMatchesBaselineGather(t *testing.T) {
+	spec := testSpec(64)
+	b := NewBuffer(spec)
+	fillBuffer(b, 40)
+	k := NewKVBuffer(spec)
+	if n := k.ReorganizeFrom(b); n != 40 {
+		t.Fatalf("ReorganizeFrom copied %d, want 40", n)
+	}
+
+	indices := []int{0, 7, 13, 39}
+	baseBatches := make([]*AgentBatch, spec.NumAgents)
+	kvBatches := make([]*AgentBatch, spec.NumAgents)
+	for a := range baseBatches {
+		baseBatches[a] = NewAgentBatch(len(indices), spec.ObsDims[a], spec.ActDim)
+		kvBatches[a] = NewAgentBatch(len(indices), spec.ObsDims[a], spec.ActDim)
+	}
+	b.GatherAll(indices, baseBatches)
+	k.GatherAll(indices, kvBatches)
+	for a := 0; a < spec.NumAgents; a++ {
+		for _, pair := range []struct{ base, kv []float64 }{
+			{baseBatches[a].Obs.Data, kvBatches[a].Obs.Data},
+			{baseBatches[a].Act.Data, kvBatches[a].Act.Data},
+			{baseBatches[a].Rew.Data, kvBatches[a].Rew.Data},
+			{baseBatches[a].NextObs.Data, kvBatches[a].NextObs.Data},
+			{baseBatches[a].Done.Data, kvBatches[a].Done.Data},
+		} {
+			for i := range pair.base {
+				if pair.base[i] != pair.kv[i] {
+					t.Fatalf("agent %d field mismatch at %d: %v vs %v", a, i, pair.base[i], pair.kv[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKVDirectAddMatchesReorganized(t *testing.T) {
+	spec := testSpec(32)
+	b := NewBuffer(spec)
+	k := NewKVBuffer(spec)
+	// Feed identical streams into both paths.
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 20; step++ {
+		obs := make([][]float64, spec.NumAgents)
+		act := make([][]float64, spec.NumAgents)
+		rew := make([]float64, spec.NumAgents)
+		nextObs := make([][]float64, spec.NumAgents)
+		done := make([]float64, spec.NumAgents)
+		for a := 0; a < spec.NumAgents; a++ {
+			obs[a] = make([]float64, spec.ObsDims[a])
+			nextObs[a] = make([]float64, spec.ObsDims[a])
+			act[a] = make([]float64, spec.ActDim)
+			for j := range obs[a] {
+				obs[a][j] = rng.Float64()
+				nextObs[a][j] = rng.Float64()
+			}
+			act[a][rng.Intn(spec.ActDim)] = 1
+			rew[a] = rng.NormFloat64()
+		}
+		b.Add(obs, act, rew, nextObs, done)
+		k.Add(obs, act, rew, nextObs, done)
+	}
+	k2 := NewKVBuffer(spec)
+	k2.ReorganizeFrom(b)
+	if k.Len() != k2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", k.Len(), k2.Len())
+	}
+	for i := range k.data {
+		if k.data[i] != k2.data[i] {
+			t.Fatalf("interleaved data differs at %d", i)
+		}
+	}
+}
+
+func TestKVGatherEmitsOneAccessPerRow(t *testing.T) {
+	spec := testSpec(16)
+	b := NewBuffer(spec)
+	fillBuffer(b, 10)
+	k := NewKVBuffer(spec)
+	k.ReorganizeFrom(b)
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	batches := make([]*AgentBatch, spec.NumAgents)
+	for a := range batches {
+		batches[a] = NewAgentBatch(4, spec.ObsDims[a], spec.ActDim)
+	}
+	k.GatherAll([]int{1, 3, 5, 7}, batches)
+	if len(tr.addrs) != 4 {
+		t.Fatalf("KV gather emitted %d accesses, want 4 (one per row)", len(tr.addrs))
+	}
+	for i, size := range tr.sizes {
+		if size != k.RowStride()*8 {
+			t.Fatalf("access %d size %d, want full row %d", i, size, k.RowStride()*8)
+		}
+	}
+}
+
+func TestKVGatherOutOfRangePanics(t *testing.T) {
+	spec := testSpec(8)
+	k := NewKVBuffer(spec)
+	batches := make([]*AgentBatch, spec.NumAgents)
+	for a := range batches {
+		batches[a] = NewAgentBatch(1, spec.ObsDims[a], spec.ActDim)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KV gather on empty table did not panic")
+		}
+	}()
+	k.GatherAll([]int{0}, batches)
+}
+
+func TestKVReorganizeSpecMismatchPanics(t *testing.T) {
+	k := NewKVBuffer(testSpec(8))
+	other := NewBuffer(Spec{NumAgents: 2, ObsDims: []int{4, 4}, ActDim: 5, Capacity: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spec mismatch did not panic")
+		}
+	}()
+	k.ReorganizeFrom(other)
+}
+
+func TestKVAddWrapsRing(t *testing.T) {
+	spec := testSpec(4)
+	k := NewKVBuffer(spec)
+	mk := func(v float64) ([][]float64, [][]float64, []float64, [][]float64, []float64) {
+		obs := make([][]float64, spec.NumAgents)
+		act := make([][]float64, spec.NumAgents)
+		rew := make([]float64, spec.NumAgents)
+		nextObs := make([][]float64, spec.NumAgents)
+		done := make([]float64, spec.NumAgents)
+		for a := 0; a < spec.NumAgents; a++ {
+			obs[a] = make([]float64, spec.ObsDims[a])
+			obs[a][0] = v
+			nextObs[a] = make([]float64, spec.ObsDims[a])
+			act[a] = make([]float64, spec.ActDim)
+		}
+		return obs, act, rew, nextObs, done
+	}
+	for i := 0; i < 6; i++ {
+		obs, act, rew, nextObs, done := mk(float64(i))
+		k.Add(obs, act, rew, nextObs, done)
+	}
+	if k.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", k.Len())
+	}
+	batches := make([]*AgentBatch, spec.NumAgents)
+	for a := range batches {
+		batches[a] = NewAgentBatch(1, spec.ObsDims[a], spec.ActDim)
+	}
+	k.GatherAll([]int{0}, batches) // slot 0 should hold step 4
+	if got := batches[0].Obs.At(0, 0); got != 4 {
+		t.Fatalf("wrapped slot 0 = %v, want 4", got)
+	}
+}
+
+// Property: for any random fill and index set, KV gather equals baseline
+// gather field-for-field.
+func TestKVEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := Spec{
+			NumAgents: 1 + r.Intn(4),
+			ActDim:    1 + r.Intn(5),
+			Capacity:  8 + r.Intn(56),
+		}
+		spec.ObsDims = make([]int, spec.NumAgents)
+		for a := range spec.ObsDims {
+			spec.ObsDims[a] = 1 + r.Intn(8)
+		}
+		b := NewBuffer(spec)
+		n := 1 + r.Intn(spec.Capacity)
+		for step := 0; step < n; step++ {
+			obs := make([][]float64, spec.NumAgents)
+			act := make([][]float64, spec.NumAgents)
+			rew := make([]float64, spec.NumAgents)
+			nextObs := make([][]float64, spec.NumAgents)
+			done := make([]float64, spec.NumAgents)
+			for a := 0; a < spec.NumAgents; a++ {
+				obs[a] = randomRow(r, spec.ObsDims[a])
+				nextObs[a] = randomRow(r, spec.ObsDims[a])
+				act[a] = randomRow(r, spec.ActDim)
+				rew[a] = r.NormFloat64()
+				done[a] = float64(r.Intn(2))
+			}
+			b.Add(obs, act, rew, nextObs, done)
+		}
+		k := NewKVBuffer(spec)
+		k.ReorganizeFrom(b)
+		m := 1 + r.Intn(16)
+		indices := make([]int, m)
+		for i := range indices {
+			indices[i] = r.Intn(n)
+		}
+		bb := make([]*AgentBatch, spec.NumAgents)
+		kb := make([]*AgentBatch, spec.NumAgents)
+		for a := range bb {
+			bb[a] = NewAgentBatch(m, spec.ObsDims[a], spec.ActDim)
+			kb[a] = NewAgentBatch(m, spec.ObsDims[a], spec.ActDim)
+		}
+		b.GatherAll(indices, bb)
+		k.GatherAll(indices, kb)
+		for a := range bb {
+			for i := range bb[a].Obs.Data {
+				if bb[a].Obs.Data[i] != kb[a].Obs.Data[i] {
+					return false
+				}
+			}
+			for i := range bb[a].Rew.Data {
+				if bb[a].Rew.Data[i] != kb[a].Rew.Data[i] || bb[a].Done.Data[i] != kb[a].Done.Data[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomRow(r *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = r.NormFloat64()
+	}
+	return row
+}

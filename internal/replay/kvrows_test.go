@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"testing"
+)
+
+func TestGatherRowsThenSplitMatchesGatherAll(t *testing.T) {
+	spec := testSpec(64)
+	b := NewBuffer(spec)
+	fillBuffer(b, 40)
+	k := NewKVBuffer(spec)
+	k.ReorganizeFrom(b)
+
+	indices := []int{2, 9, 31}
+	rows := make([]float64, len(indices)*k.RowStride())
+	k.GatherRows(indices, rows)
+
+	split := make([]*AgentBatch, spec.NumAgents)
+	fused := make([]*AgentBatch, spec.NumAgents)
+	for a := range split {
+		split[a] = NewAgentBatch(len(indices), spec.ObsDims[a], spec.ActDim)
+		fused[a] = NewAgentBatch(len(indices), spec.ObsDims[a], spec.ActDim)
+	}
+	k.SplitRows(rows, len(indices), split)
+	k.GatherAll(indices, fused)
+
+	for a := range split {
+		for i := range split[a].Obs.Data {
+			if split[a].Obs.Data[i] != fused[a].Obs.Data[i] {
+				t.Fatalf("agent %d obs mismatch at %d", a, i)
+			}
+		}
+		for i := range split[a].Rew.Data {
+			if split[a].Rew.Data[i] != fused[a].Rew.Data[i] ||
+				split[a].Done.Data[i] != fused[a].Done.Data[i] {
+				t.Fatalf("agent %d scalar mismatch at row %d", a, i)
+			}
+		}
+	}
+}
+
+func TestGatherRowsEmitsTraces(t *testing.T) {
+	spec := testSpec(16)
+	b := NewBuffer(spec)
+	fillBuffer(b, 8)
+	k := NewKVBuffer(spec)
+	k.ReorganizeFrom(b)
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	rows := make([]float64, 3*k.RowStride())
+	k.GatherRows([]int{0, 2, 4}, rows)
+	if len(tr.addrs) != 3 {
+		t.Fatalf("GatherRows emitted %d accesses, want 3", len(tr.addrs))
+	}
+}
+
+func TestGatherRowsPanics(t *testing.T) {
+	spec := testSpec(16)
+	b := NewBuffer(spec)
+	fillBuffer(b, 8)
+	k := NewKVBuffer(spec)
+	k.ReorganizeFrom(b)
+	for name, fn := range map[string]func(){
+		"short dst":    func() { k.GatherRows([]int{0, 1}, make([]float64, k.RowStride())) },
+		"out of range": func() { k.GatherRows([]int{99}, make([]float64, k.RowStride())) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSplitRowsPanics(t *testing.T) {
+	spec := testSpec(16)
+	k := NewKVBuffer(spec)
+	good := make([]*AgentBatch, spec.NumAgents)
+	for a := range good {
+		good[a] = NewAgentBatch(2, spec.ObsDims[a], spec.ActDim)
+	}
+	for name, fn := range map[string]func(){
+		"wrong batch count": func() { k.SplitRows(make([]float64, 2*k.RowStride()), 2, good[:1]) },
+		"short rows":        func() { k.SplitRows(make([]float64, k.RowStride()), 2, good) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PERSampler implements proportional prioritized experience replay
+// (Schaul et al., 2015), the PER-MADDPG baseline the paper compares
+// against. Priorities are p_i = (|δ_i| + ε)^α; sampling is proportional via
+// a sum tree; bias is compensated with importance weights
+// w_i = (1/N · 1/P(i))^β, normalized by the max weight.
+type PERSampler struct {
+	buf   *Buffer
+	tree  *SumTree
+	Alpha float64
+	Beta  float64
+	Eps   float64
+
+	maxPriority float64 // running max, assigned to fresh transitions
+}
+
+// NewPERSampler builds a proportional PER sampler over buf with the
+// standard α=0.6, β=0.4, ε=1e-6 defaults, registering itself so new
+// transitions enter at max priority.
+func NewPERSampler(buf *Buffer) *PERSampler {
+	s := &PERSampler{
+		buf:         buf,
+		tree:        NewSumTree(buf.Capacity()),
+		Alpha:       0.6,
+		Beta:        0.4,
+		Eps:         1e-6,
+		maxPriority: 1,
+	}
+	buf.AddListener(s.onAdd)
+	return s
+}
+
+// Name implements Sampler.
+func (s *PERSampler) Name() string { return "per" }
+
+// onAdd gives a freshly written slot the current maximum priority so every
+// transition is sampled at least once with high probability.
+func (s *PERSampler) onAdd(idx int) {
+	s.tree.Set(idx, math.Pow(s.maxPriority+s.Eps, s.Alpha))
+}
+
+// Sample implements Sampler: stratified proportional sampling with
+// importance weights.
+func (s *PERSampler) Sample(n int, rng *rand.Rand) Sample {
+	if s.buf.Len() == 0 {
+		panic("replay: sampling from empty buffer")
+	}
+	total := s.tree.Total()
+	if total <= 0 {
+		panic("replay: PER tree has zero total priority")
+	}
+	idx := make([]int, n)
+	weights := make([]float64, n)
+	segment := total / float64(n)
+	length := float64(s.buf.Len())
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		v := (float64(i) + rng.Float64()) * segment
+		leaf := s.tree.Find(v)
+		if leaf >= s.buf.Len() {
+			leaf = rng.Intn(s.buf.Len())
+		}
+		idx[i] = leaf
+		prob := s.tree.Get(leaf) / total
+		if prob <= 0 {
+			prob = 1 / length
+		}
+		w := math.Pow(1/(length*prob), s.Beta)
+		weights[i] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	return Sample{Indices: idx, Weights: weights}
+}
+
+// UpdatePriorities implements PrioritySampler.
+func (s *PERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
+	if len(indices) != len(tdAbs) {
+		panic(fmt.Sprintf("replay: UpdatePriorities got %d indices, %d errors", len(indices), len(tdAbs)))
+	}
+	for i, idx := range indices {
+		td := tdAbs[i]
+		if td > s.maxPriority {
+			s.maxPriority = td
+		}
+		s.tree.Set(idx, math.Pow(td+s.Eps, s.Alpha))
+	}
+}
+
+// NormalizedPriority returns leaf idx's priority scaled to [0, 1] by the
+// current max — the "normalized weight" the IP predictor thresholds.
+func (s *PERSampler) NormalizedPriority(idx int) float64 {
+	denom := math.Pow(s.maxPriority+s.Eps, s.Alpha)
+	if denom <= 0 {
+		return 0
+	}
+	p := s.tree.Get(idx) / denom
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// probability returns P(idx) under the current priority distribution.
+func (s *PERSampler) probability(idx int) float64 {
+	total := s.tree.Total()
+	if total <= 0 {
+		return 0
+	}
+	return s.tree.Get(idx) / total
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RankPERSampler implements the rank-based variant of prioritized
+// experience replay (Schaul et al., 2015): sampling probability
+// P(i) ∝ 1/rank(i), where rank orders transitions by |TD error|. Rank-based
+// prioritization is less sensitive to outlier TD magnitudes than the
+// proportional variant; it is included as an additional baseline for the
+// prioritization ablations.
+//
+// The rank order is rebuilt lazily: updates mark the order dirty and the
+// next Sample re-sorts, amortizing the O(n log n) cost across the batch.
+type RankPERSampler struct {
+	buf  *Buffer
+	Beta float64 // importance-weight compensation
+
+	priorities []float64
+	order      []int     // slot indices sorted by priority, descending
+	cum        []float64 // cumulative 1/rank masses over order
+	dirty      bool
+	maxPri     float64
+}
+
+// NewRankPERSampler builds a rank-based sampler over buf with β=0.4.
+func NewRankPERSampler(buf *Buffer) *RankPERSampler {
+	s := &RankPERSampler{
+		buf:        buf,
+		Beta:       0.4,
+		priorities: make([]float64, buf.Capacity()),
+		maxPri:     1,
+	}
+	buf.AddListener(s.onAdd)
+	return s
+}
+
+// Name implements Sampler.
+func (s *RankPERSampler) Name() string { return "rank-per" }
+
+func (s *RankPERSampler) onAdd(idx int) {
+	s.priorities[idx] = s.maxPri
+	s.dirty = true
+}
+
+// rebuild re-sorts the rank order and cumulative masses.
+func (s *RankPERSampler) rebuild() {
+	n := s.buf.Len()
+	s.order = s.order[:0]
+	for i := 0; i < n; i++ {
+		s.order = append(s.order, i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return s.priorities[s.order[a]] > s.priorities[s.order[b]]
+	})
+	s.cum = s.cum[:0]
+	var total float64
+	for rank := 1; rank <= n; rank++ {
+		total += 1 / float64(rank)
+		s.cum = append(s.cum, total)
+	}
+	s.dirty = false
+}
+
+// Sample implements Sampler with stratified rank-proportional draws.
+func (s *RankPERSampler) Sample(n int, rng *rand.Rand) Sample {
+	length := s.buf.Len()
+	if length == 0 {
+		panic("replay: sampling from empty buffer")
+	}
+	if s.dirty || len(s.order) != length {
+		s.rebuild()
+	}
+	total := s.cum[len(s.cum)-1]
+	idx := make([]int, n)
+	weights := make([]float64, n)
+	segment := total / float64(n)
+	flen := float64(length)
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		v := (float64(i) + rng.Float64()) * segment
+		pos := sort.SearchFloat64s(s.cum, v)
+		if pos >= length {
+			pos = length - 1
+		}
+		idx[i] = s.order[pos]
+		prob := (1 / float64(pos+1)) / total
+		w := math.Pow(1/(flen*prob), s.Beta)
+		weights[i] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	return Sample{Indices: idx, Weights: weights}
+}
+
+// UpdatePriorities implements PrioritySampler.
+func (s *RankPERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
+	if len(indices) != len(tdAbs) {
+		panic(fmt.Sprintf("replay: UpdatePriorities got %d indices, %d errors", len(indices), len(tdAbs)))
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(s.priorities) {
+			panic(fmt.Sprintf("replay: priority index %d outside [0,%d)", idx, len(s.priorities)))
+		}
+		td := tdAbs[i]
+		if td > s.maxPri {
+			s.maxPri = td
+		}
+		s.priorities[idx] = td
+	}
+	s.dirty = true
+}

@@ -1,0 +1,58 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ReuseSampler models the transition-reuse strategy of AccMER (Gogineni et
+// al., 2023 — cited as related work [43]): a drawn mini-batch is reused for
+// a window of W consecutive updates before fresh indices are sampled,
+// trading sampling freshness for data-movement savings. It wraps any inner
+// sampler, so reuse composes with uniform, locality-aware, or prioritized
+// index generation.
+type ReuseSampler struct {
+	inner  Sampler
+	Window int
+
+	cached    Sample
+	usesLeft  int
+	cachedFor int // batch size the cache was drawn for
+}
+
+// NewReuseSampler wraps inner so each drawn batch is reused window times
+// (window=1 behaves exactly like inner).
+func NewReuseSampler(inner Sampler, window int) *ReuseSampler {
+	if window < 1 {
+		panic(fmt.Sprintf("replay: reuse window %d, want ≥1", window))
+	}
+	return &ReuseSampler{inner: inner, Window: window}
+}
+
+// Name implements Sampler.
+func (s *ReuseSampler) Name() string {
+	return fmt.Sprintf("reuse(w=%d,%s)", s.Window, s.inner.Name())
+}
+
+// Sample implements Sampler: it returns the cached batch while the window
+// lasts, then refreshes from the inner sampler. A change in requested batch
+// size invalidates the cache.
+func (s *ReuseSampler) Sample(n int, rng *rand.Rand) Sample {
+	if s.usesLeft > 0 && s.cachedFor == n {
+		s.usesLeft--
+		return s.cached
+	}
+	s.cached = s.inner.Sample(n, rng)
+	s.cachedFor = n
+	s.usesLeft = s.Window - 1
+	return s.cached
+}
+
+// UpdatePriorities forwards TD errors to the inner sampler when it is
+// prioritized; otherwise it is a no-op, so reuse can wrap any sampler under
+// a PrioritySampler-shaped caller.
+func (s *ReuseSampler) UpdatePriorities(indices []int, tdAbs []float64) {
+	if ps, ok := s.inner.(PrioritySampler); ok {
+		ps.UpdatePriorities(indices, tdAbs)
+	}
+}

@@ -1,0 +1,128 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBufferRoundTrip(t *testing.T) {
+	b := NewBuffer(testSpec(32))
+	fillBuffer(b, 20)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadBuffer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 20 || restored.Capacity() != 32 {
+		t.Fatalf("restored Len=%d Cap=%d", restored.Len(), restored.Capacity())
+	}
+	// Gathers must produce identical batches.
+	indices := []int{0, 7, 19}
+	spec := b.Spec()
+	for a := 0; a < spec.NumAgents; a++ {
+		want := NewAgentBatch(3, spec.ObsDims[a], spec.ActDim)
+		got := NewAgentBatch(3, spec.ObsDims[a], spec.ActDim)
+		b.Gather(a, indices, want)
+		restored.Gather(a, indices, got)
+		for i := range want.Obs.Data {
+			if want.Obs.Data[i] != got.Obs.Data[i] {
+				t.Fatalf("agent %d obs differs after round-trip", a)
+			}
+		}
+		for i := range want.Rew.Data {
+			if want.Rew.Data[i] != got.Rew.Data[i] || want.Done.Data[i] != got.Done.Data[i] {
+				t.Fatalf("agent %d scalars differ after round-trip", a)
+			}
+		}
+	}
+}
+
+func TestBufferRoundTripContinuesRing(t *testing.T) {
+	b := NewBuffer(testSpec(4))
+	fillBuffer(b, 6) // wrapped: next == 2
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadBuffer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next Add must land where the original would have (slot 2).
+	var seen []int
+	restored.AddListener(func(idx int) { seen = append(seen, idx) })
+	fillBuffer(restored, 1)
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("restored ring cursor wrong: adds landed at %v, want [2]", seen)
+	}
+}
+
+func TestReadBufferRejectsGarbage(t *testing.T) {
+	if _, err := ReadBuffer(strings.NewReader("garbage data here")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadBufferRejectsTruncated(t *testing.T) {
+	b := NewBuffer(testSpec(8))
+	fillBuffer(b, 5)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{2, 8, 20, len(data) / 2} {
+		if _, err := ReadBuffer(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadBufferRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(bufMagic)
+	putU32(&buf, bufVersion)
+	putU32(&buf, 1<<20) // absurd agent count
+	putU32(&buf, 5)
+	putU32(&buf, 100)
+	if _, err := ReadBuffer(&buf); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+func TestReadBufferRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(bufMagic)
+	putU32(&buf, 99)
+	if _, err := ReadBuffer(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func FuzzReadBuffer(f *testing.F) {
+	b := NewBuffer(testSpec(8))
+	fillBuffer(b, 5)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("MARB"))
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xAA
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := ReadBuffer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if restored.Len() > restored.Capacity() {
+			t.Fatal("parsed buffer violates invariants")
+		}
+	})
+}

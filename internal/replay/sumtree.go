@@ -1,0 +1,82 @@
+package replay
+
+import "fmt"
+
+// SumTree is the classic binary-indexed priority tree used by proportional
+// prioritized experience replay: leaf i holds priority p_i, internal nodes
+// hold subtree sums, so sampling proportional to priority is O(log n).
+type SumTree struct {
+	capacity int
+	nodes    []float64 // 1-indexed heap layout: nodes[1] is the root
+}
+
+// NewSumTree returns a tree over capacity leaves, all zero priority.
+func NewSumTree(capacity int) *SumTree {
+	if capacity < 1 {
+		panic(fmt.Sprintf("replay: SumTree capacity %d, want ≥1", capacity))
+	}
+	// Round leaves up to a power of two for a clean implicit layout.
+	leaves := 1
+	for leaves < capacity {
+		leaves *= 2
+	}
+	return &SumTree{capacity: capacity, nodes: make([]float64, 2*leaves)}
+}
+
+// leafBase returns the index of leaf 0 in the node array.
+func (t *SumTree) leafBase() int { return len(t.nodes) / 2 }
+
+// Set assigns priority p to leaf idx and updates ancestor sums.
+func (t *SumTree) Set(idx int, p float64) {
+	if idx < 0 || idx >= t.capacity {
+		panic(fmt.Sprintf("replay: SumTree index %d outside [0,%d)", idx, t.capacity))
+	}
+	if p < 0 {
+		panic(fmt.Sprintf("replay: negative priority %v", p))
+	}
+	node := t.leafBase() + idx
+	delta := p - t.nodes[node]
+	for node >= 1 {
+		t.nodes[node] += delta
+		node /= 2
+	}
+}
+
+// Get returns the priority at leaf idx.
+func (t *SumTree) Get(idx int) float64 {
+	if idx < 0 || idx >= t.capacity {
+		panic(fmt.Sprintf("replay: SumTree index %d outside [0,%d)", idx, t.capacity))
+	}
+	return t.nodes[t.leafBase()+idx]
+}
+
+// Total returns the sum of all priorities.
+func (t *SumTree) Total() float64 { return t.nodes[1] }
+
+// Find returns the leaf index whose cumulative-priority interval contains
+// value v ∈ [0, Total), i.e. proportional sampling.
+func (t *SumTree) Find(v float64) int {
+	if t.Total() <= 0 {
+		panic("replay: Find on empty SumTree")
+	}
+	if v < 0 {
+		v = 0
+	}
+	node := 1
+	base := t.leafBase()
+	for node < base {
+		left := 2 * node
+		if v < t.nodes[left] {
+			node = left
+		} else {
+			v -= t.nodes[left]
+			node = left + 1
+		}
+	}
+	idx := node - base
+	if idx >= t.capacity {
+		// Floating-point drift can walk past the last populated leaf; clamp.
+		idx = t.capacity - 1
+	}
+	return idx
+}

@@ -1,0 +1,83 @@
+package simcache
+
+// Platform bundles a cache geometry with a latency model so miss counts can
+// be converted into modeled time — the substitute for running the paper's
+// cross-validation on physical machines (Table II, Figures 12-13).
+type Platform struct {
+	Name string
+
+	L1, L2, L3 CacheConfig
+	TLB        CacheConfig
+
+	// Per-probe latencies in nanoseconds.
+	LatL1      float64
+	LatL2      float64
+	LatL3      float64
+	LatMem     float64
+	LatTLBMiss float64
+
+	// GPU-attached platforms pay a PCIe transfer cost to ship the gathered
+	// mini-batch to the device; CPU-only platforms leave these zero.
+	TransferPerByte float64 // ns per byte of gathered batch data
+	TransferFixed   float64 // ns per update (launch/synchronization)
+}
+
+// Ryzen3975WX models the paper's primary host (Table II): AMD Ryzen
+// Threadripper PRO 3975WX — per-core 32 KiB L1d / 512 KiB L2, 128 MiB
+// shared L3, 3072-entry 4K dTLB.
+func Ryzen3975WX() Platform {
+	return Platform{
+		Name: "ryzen-3975wx-rtx3090",
+		L1:   CacheConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LineSize: 64},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 512 << 10, Ways: 8, LineSize: 64},
+		L3:   CacheConfig{Name: "L3", SizeBytes: 128 << 20, Ways: 16, LineSize: 64},
+		TLB:  CacheConfig{Name: "dTLB", SizeBytes: 3072 * 4096, Ways: 8, LineSize: 4096},
+
+		LatL1: 1.0, LatL2: 3.5, LatL3: 12.0, LatMem: 95.0, LatTLBMiss: 25.0,
+		// RTX 3090 over PCIe 4.0: high bandwidth, mini-batches amortize the
+		// fixed launch cost well at large agent counts.
+		TransferPerByte: 0.045, TransferFixed: 12000,
+	}
+}
+
+// I79700K models the cross-validation CPU-only host: Intel i7-9700K with
+// 32 KiB L1d / 256 KiB L2 per core, 12 MiB shared L3, 1536-entry dTLB.
+func I79700K() Platform {
+	return Platform{
+		Name: "i7-9700k-cpu-only",
+		L1:   CacheConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LineSize: 64},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 256 << 10, Ways: 4, LineSize: 64},
+		L3:   CacheConfig{Name: "L3", SizeBytes: 12 << 20, Ways: 16, LineSize: 64},
+		TLB:  CacheConfig{Name: "dTLB", SizeBytes: 1536 * 4096, Ways: 6, LineSize: 4096},
+
+		LatL1: 1.1, LatL2: 3.3, LatL3: 11.0, LatMem: 80.0, LatTLBMiss: 22.0,
+		// CPU-only: no device transfer.
+	}
+}
+
+// GTX1070 models the cross-validation CPU-GPU host: the i7-9700K cache
+// geometry with a Pascal GTX 1070 attached over PCIe 3.0, whose slower
+// transfers and launch overheads damp the optimization's end-to-end benefit
+// at small agent counts (the effect Figure 13 reports).
+func GTX1070() Platform {
+	p := I79700K()
+	p.Name = "i7-9700k-gtx1070"
+	p.TransferPerByte = 0.09 // PCIe 3.0 ≈ half the PCIe 4.0 bandwidth
+	p.TransferFixed = 18000
+	return p
+}
+
+// ModeledTimeNS converts hierarchy statistics into nanoseconds of memory
+// time under the platform's latency model, plus the transfer term for
+// bytesToDevice gathered bytes (zero for CPU-only platforms).
+func (p Platform) ModeledTimeNS(s Stats, bytesToDevice int) float64 {
+	t := float64(s.L1Hits)*p.LatL1 +
+		float64(s.L2Hits)*p.LatL2 +
+		float64(s.L3Hits)*p.LatL3 +
+		float64(s.L3Misses)*p.LatMem +
+		float64(s.TLBMisses)*p.LatTLBMiss
+	if bytesToDevice > 0 && (p.TransferPerByte > 0 || p.TransferFixed > 0) {
+		t += p.TransferFixed + p.TransferPerByte*float64(bytesToDevice)
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// benchmark harness uses to report repeated measurements robustly: means,
+// medians, standard deviations, and repeat-measurement summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary over vs. An empty slice yields a zero
+// Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vs)}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Median(sorted)
+	s.Mean = Mean(vs)
+	s.Std = Std(vs)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g median=%.4g [%.4g, %.4g]",
+		s.N, s.Mean, s.Std, s.Median, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func Std(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	var sq float64
+	for _, v := range vs {
+		d := v - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(len(vs)-1))
+}
+
+// Median returns the median of a *sorted* slice (0 for an empty slice).
+func Median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MedianOf sorts a copy of vs and returns its median.
+func MedianOf(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	return Median(sorted)
+}
+
+// RepeatTimed runs fn reps times and returns a Summary of the wall-clock
+// seconds per run. Benchmarking loops use the median to damp scheduler
+// noise on shared hosts.
+func RepeatTimed(reps int, fn func()) Summary {
+	if reps < 1 {
+		return Summary{}
+	}
+	secs := make([]float64, reps)
+	for i := range secs {
+		start := time.Now()
+		fn()
+		secs[i] = time.Since(start).Seconds()
+	}
+	return Summarize(secs)
+}
+
+// GeoMean returns the geometric mean of positive values; it returns 0 if
+// any value is non-positive or the slice is empty. Used for aggregating
+// speedup ratios.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vs)))
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	// Known sample: [2,4,4,4,5,5,7,9] has sample std ≈ 2.138.
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1381) > 1e-3 {
+		t.Fatalf("Std = %v, want ≈2.138", got)
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("Std of single value should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{1, 3, 9}); got != 3 {
+		t.Fatalf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{1, 3, 5, 9}); got != 4 {
+		t.Fatalf("even Median = %v, want 4", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedianOfDoesNotMutate(t *testing.T) {
+	vs := []float64{9, 1, 5}
+	if got := MedianOf(vs); got != 5 {
+		t.Fatalf("MedianOf = %v, want 5", got)
+	}
+	if vs[0] != 9 || vs[1] != 1 {
+		t.Fatal("MedianOf mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 || s.Mean != 2.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Fatalf("String = %q", s.String())
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestRepeatTimed(t *testing.T) {
+	calls := 0
+	s := RepeatTimed(5, func() { calls++ })
+	if calls != 5 || s.N != 5 {
+		t.Fatalf("calls=%d N=%d", calls, s.N)
+	}
+	if s.Min < 0 {
+		t.Fatal("negative duration")
+	}
+	if RepeatTimed(0, func() { t.Fatal("must not run") }).N != 0 {
+		t.Fatal("zero reps should be empty")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive values should yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty should yield 0")
+	}
+}
+
+// Property: min ≤ median ≤ max and min ≤ mean ≤ max for any sample.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.NormFloat64() * 100
+		}
+		s := Summarize(vs)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Std is shift-invariant and scale-equivariant.
+func TestStdPropertiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		vs := make([]float64, n)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		shift := r.NormFloat64() * 50
+		scale := 1 + r.Float64()*5
+		for i := range vs {
+			vs[i] = r.NormFloat64() * 10
+			shifted[i] = vs[i] + shift
+			scaled[i] = vs[i] * scale
+		}
+		base := Std(vs)
+		if math.Abs(Std(shifted)-base) > 1e-6*(1+base) {
+			return false
+		}
+		return math.Abs(Std(scaled)-scale*base) < 1e-6*(1+scale*base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,366 @@
+// Package tensor provides the dense linear-algebra substrate used by the
+// neural-network layers in this repository. Matrices are row-major float64
+// with explicit dimensions; all operations are deterministic given a seeded
+// *rand.Rand so experiments are reproducible.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+// The zero value is an empty (0x0) matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-filled rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix. The slice is used directly,
+// not copied; len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (shared storage) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)%v", m.Rows, m.Cols, m.Data)
+}
+
+// RandUniform fills m with samples from U[lo, hi).
+func (m *Matrix) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// RandNormal fills m with samples from N(mean, std²).
+func (m *Matrix) RandNormal(rng *rand.Rand, mean, std float64) {
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+}
+
+// XavierInit fills m with the Glorot-uniform initialization for a layer with
+// fanIn inputs and fanOut outputs, the scheme used by the paper's TF2 MLPs.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.RandUniform(rng, -limit, limit)
+}
+
+// MatMul computes dst = a × b. dst must be a.Rows×b.Cols and must not alias
+// a or b. It returns dst for chaining.
+func MatMul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order keeps the inner loop streaming over contiguous rows of
+	// b and dst, which matters for the large joint-observation critics.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulTransA computes dst = aᵀ × b where a is stored untransposed.
+// dst must be a.Cols×b.Cols.
+func MatMulTransA(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer mismatch %dx%d ᵀ× %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulTransB computes dst = a × bᵀ where b is stored untransposed.
+// dst must be a.Rows×b.Rows.
+func MatMulTransB(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch %dx%d × %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+	return dst
+}
+
+// Add computes dst = a + b elementwise. dst may alias a or b.
+func Add(dst, a, b *Matrix) *Matrix {
+	assertSameShape("Add", a, b)
+	assertSameShape("Add dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// Sub computes dst = a - b elementwise. dst may alias a or b.
+func Sub(dst, a, b *Matrix) *Matrix {
+	assertSameShape("Sub", a, b)
+	assertSameShape("Sub dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// Mul computes dst = a ⊙ b (Hadamard product). dst may alias a or b.
+func Mul(dst, a, b *Matrix) *Matrix {
+	assertSameShape("Mul", a, b)
+	assertSameShape("Mul dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return dst
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled performs m += s·other in place.
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	assertSameShape("AddScaled", m, other)
+	for i := range m.Data {
+		m.Data[i] += s * other.Data[i]
+	}
+}
+
+// AddRowVector adds the 1×Cols row vector v to every row of m in place;
+// this is the bias-broadcast used by dense layers.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d want %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// Apply sets dst[i] = f(a[i]) for every element. dst may alias a.
+func Apply(dst, a *Matrix, f func(float64) float64) *Matrix {
+	assertSameShape("Apply", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
+	return dst
+}
+
+// SumRows returns the 1×Cols column-wise sums of m (used for bias gradients).
+func (m *Matrix) SumRows(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: SumRows dst len %d want %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			dst[j] += row[j]
+		}
+	}
+	return dst
+}
+
+// Sum returns the sum over all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean over all elements (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute element (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// HStack concatenates the given matrices left-to-right into dst. All inputs
+// must share the same row count and their column counts must sum to dst.Cols.
+func HStack(dst *Matrix, parts ...*Matrix) *Matrix {
+	total := 0
+	for _, p := range parts {
+		if p.Rows != dst.Rows {
+			panic(fmt.Sprintf("tensor: HStack row mismatch %d vs %d", p.Rows, dst.Rows))
+		}
+		total += p.Cols
+	}
+	if total != dst.Cols {
+		panic(fmt.Sprintf("tensor: HStack cols sum %d want %d", total, dst.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Row(i)
+		off := 0
+		for _, p := range parts {
+			copy(drow[off:off+p.Cols], p.Row(i))
+			off += p.Cols
+		}
+	}
+	return dst
+}
+
+// SliceCols copies columns [lo, hi) of src into dst (dst is src.Rows×(hi-lo)).
+func SliceCols(dst, src *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi > src.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d cols", lo, hi, src.Cols))
+	}
+	if dst.Rows != src.Rows || dst.Cols != hi-lo {
+		panic(fmt.Sprintf("tensor: SliceCols dst %dx%d want %dx%d", dst.Rows, dst.Cols, src.Rows, hi-lo))
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[lo:hi])
+	}
+	return dst
+}
+
+// SetCols copies src into columns [lo, lo+src.Cols) of dst.
+func SetCols(dst, src *Matrix, lo int) *Matrix {
+	if lo < 0 || lo+src.Cols > dst.Cols {
+		panic(fmt.Sprintf("tensor: SetCols [%d,%d) of %d cols", lo, lo+src.Cols, dst.Cols))
+	}
+	if dst.Rows != src.Rows {
+		panic(fmt.Sprintf("tensor: SetCols row mismatch %d vs %d", dst.Rows, src.Rows))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i)[lo:lo+src.Cols], src.Row(i))
+	}
+	return dst
+}
+
+// ApproxEqual reports whether a and b have the same shape and all elements
+// are within tol of each other.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

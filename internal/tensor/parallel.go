@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The paper runs network phases (action selection, target-Q, Q/P-loss
+// backprop) on a GPU while the mini-batch sampling phase stays CPU-bound
+// and single-threaded. To mirror that split on a CPU-only substrate, the
+// dense kernels below fan large matmuls out across cores — playing the role
+// of the parallel device — while the replay gather paths remain serial.
+
+// parallelThreshold is the approximate multiply-add count below which
+// splitting a matmul across goroutines costs more than it saves.
+const parallelThreshold = 1 << 17
+
+// maxWorkers caps the worker count for one kernel invocation.
+func maxWorkers(rows int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks, one per
+// worker. Each row is owned by exactly one worker, so results are
+// deterministic.
+func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	workers := maxWorkers(rows)
+	if workers == 1 || flops < parallelThreshold {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulParallel computes dst = a × b like MatMul, fanning row blocks out
+// across cores for large inputs. dst must not alias a or b.
+func MatMulParallel(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		// Delegate to MatMul for its precise panic messages.
+		return MatMul(dst, a, b)
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for k := 0; k < a.Cols; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range brow {
+					drow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// MatMulTransBParallel computes dst = a × bᵀ like MatMulTransB with row
+// parallelism for large inputs.
+func MatMulTransBParallel(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return MatMulTransB(dst, a, b)
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var sum float64
+				for k, av := range arow {
+					sum += av * brow[k]
+				}
+				drow[j] = sum
+			}
+		}
+	})
+	return dst
+}
+
+// MatMulTransAParallel computes dst = aᵀ × b like MatMulTransA,
+// parallelized over dst rows (columns of a) for large inputs.
+func MatMulTransAParallel(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return MatMulTransA(dst, a, b)
+	}
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for k := 0; k < a.Rows; k++ {
+				av := a.Data[k*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range brow {
+					drow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return dst
+}

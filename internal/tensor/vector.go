@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// AXPY performs dst += s·src elementwise on equal-length slices.
+func AXPY(dst []float64, s float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Softmax writes the softmax of logits into dst (which may alias logits)
+// using the max-subtraction trick for numerical stability.
+func Softmax(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("tensor: Softmax length mismatch %d vs %d", len(dst), len(logits)))
+	}
+	if len(logits) == 0 {
+		return
+	}
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - mx)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1.0 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// ArgMax returns the index of the largest element of v (first on ties);
+// -1 for an empty slice.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clip limits every element of v to [lo, hi] in place.
+func Clip(v []float64, lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAXPY(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AXPY(dst, 2, []float64{10, 20, 30})
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AXPY = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	logits := []float64{1, 2, 3, 4, 5}
+	out := make([]float64, 5)
+	Softmax(out, logits)
+	var sum float64
+	for _, v := range out {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax value %v outside (0,1)", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v, want 1", sum)
+	}
+	// Monotone: larger logit ⇒ larger probability.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("softmax not monotone at %d: %v", i, out)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := []float64{1000, 1001, 1002}
+	out := make([]float64, 3)
+	Softmax(out, logits)
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax produced %v on large logits", v)
+		}
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	Softmax(nil, nil) // must not panic
+}
+
+// Property: softmax is invariant to adding a constant to all logits.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		logits := make([]float64, n)
+		shifted := make([]float64, n)
+		c := r.NormFloat64() * 10
+		for i := range logits {
+			logits[i] = r.NormFloat64() * 3
+			shifted[i] = logits[i] + c
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		Softmax(a, logits)
+		Softmax(b, shifted)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 3}); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1", got)
+	}
+	if got := ArgMax([]float64{7, 7}); got != 0 {
+		t.Fatalf("ArgMax ties = %d, want first index 0", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %d, want -1", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	v := []float64{-2, 0.5, 3}
+	Clip(v, -1, 1)
+	want := []float64{-1, 0.5, 1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Clip = %v, want %v", v, want)
+		}
+	}
+}
