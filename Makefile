@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -12,6 +12,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure, plus substrate benches.
 bench:

@@ -4,20 +4,44 @@
 // Usage:
 //
 //	marl-train -env pp -algo maddpg -agents 6 -episodes 200 -sampler locality -neighbors 16 -refs 64
+//
+// Long runs survive crashes and divergence: -checkpoint-dir enables periodic
+// crash-safe snapshots (trainer + replay buffer + RNG state, CRC-protected,
+// rotated), -resume restarts from the newest intact generation, and the
+// divergence watchdog (on by default) rolls back to the last healthy state
+// when training goes non-finite or stalls.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"marlperf"
+	"marlperf/internal/core"
 	"marlperf/internal/mpe"
 	"marlperf/internal/plot"
+	"marlperf/internal/profiler"
+	"marlperf/internal/replay"
+	"marlperf/internal/resilience"
 )
 
-func main() {
+// Exit codes (documented in -h output).
+const (
+	exitOK          = 0 // training completed
+	exitError       = 1 // runtime failure
+	exitUsage       = 2 // bad command line
+	exitInterrupted = 3 // SIGINT/SIGTERM; final snapshot was written
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		envName   = flag.String("env", "cn", "environment: pp (predator-prey), cn (cooperative navigation), pd (physical deception)")
 		algoName  = flag.String("algo", "maddpg", "algorithm: maddpg or matd3")
@@ -31,11 +55,35 @@ func main() {
 		kvLayout  = flag.Bool("kv", false, "enable key-value data-layout reorganization")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		logEvery  = flag.Int("log-every", 20, "episodes between progress lines")
-		savePath  = flag.String("save", "", "write a checkpoint here after training")
-		loadPath  = flag.String("load", "", "restore a checkpoint before training")
+		savePath  = flag.String("save", "", "write a bare checkpoint here after training")
+		loadPath  = flag.String("load", "", "restore a bare checkpoint before training")
 		evalEps   = flag.Int("eval", 0, "greedy evaluation episodes after training")
 		render    = flag.Bool("render", false, "render the final world state as ASCII")
+
+		checkpointDir   = flag.String("checkpoint-dir", "", "directory for crash-safe snapshot generations (enables resumable runs)")
+		checkpointEvery = flag.Int("checkpoint-every", 25, "episodes between periodic snapshots (0: only the final one)")
+		resume          = flag.Bool("resume", false, "resume from the newest intact snapshot in -checkpoint-dir")
+		retain          = flag.Int("retain", 3, "snapshot generations to keep")
+		watchdogOn      = flag.Bool("watchdog", true, "roll back to the last healthy state on NaN/Inf divergence or stalls")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-train [flags]
+
+Trains one MARL configuration end to end and reports reward progress plus
+the phase-time breakdown. With -checkpoint-dir the run is resumable: it
+writes CRC-protected snapshot generations atomically and -resume restarts
+from the newest intact one, skipping truncated or corrupt generations.
+
+Exit codes:
+  0  training completed
+  1  runtime failure (environment, trainer, persistence, watchdog budget)
+  2  bad command line
+  3  interrupted by SIGINT/SIGTERM; the final snapshot was written first
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var env marlperf.Env
@@ -48,7 +96,7 @@ func main() {
 		env = marlperf.NewPhysicalDeception(*agents)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown env %q (want pp, cn or pd)\n", *envName)
-		os.Exit(2)
+		return exitUsage
 	}
 
 	algo := marlperf.MADDPG
@@ -56,7 +104,7 @@ func main() {
 		algo = marlperf.MATD3
 	} else if *algoName != "maddpg" {
 		fmt.Fprintf(os.Stderr, "unknown algo %q (want maddpg or matd3)\n", *algoName)
-		os.Exit(2)
+		return exitUsage
 	}
 
 	cfg := marlperf.DefaultConfig(algo)
@@ -77,28 +125,67 @@ func main() {
 		cfg.Sampler = marlperf.SamplerIPLocality
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sampler %q\n", *sampler)
-		os.Exit(2)
+		return exitUsage
+	}
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+		return exitUsage
+	}
+	if *checkpointDir != "" && *retain < 1 {
+		fmt.Fprintf(os.Stderr, "-retain %d: want ≥1\n", *retain)
+		return exitUsage
 	}
 
 	tr, err := marlperf.NewTrainer(cfg, env)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return exitError
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitError
 		}
-		if err := tr.LoadCheckpoint(f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "loading checkpoint:", err)
-			os.Exit(1)
-		}
+		loadErr := tr.LoadCheckpoint(f)
 		f.Close()
+		if loadErr != nil {
+			fmt.Fprintln(os.Stderr, "loading checkpoint:", loadErr)
+			return exitError
+		}
 		fmt.Printf("restored checkpoint from %s (%d steps, %d updates)\n", *loadPath, tr.TotalSteps(), tr.UpdateCount())
 	}
+
+	var store *resilience.Store
+	if *checkpointDir != "" {
+		store, err = resilience.NewStore(*checkpointDir, *retain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		store.Retry.OnRetry = func(attempt int, err error) {
+			tr.Profile().Event(profiler.EventCheckpointRetried, 1)
+			fmt.Fprintf(os.Stderr, "warning: snapshot write attempt %d failed, retrying: %v\n", attempt, err)
+		}
+	}
+	if *resume {
+		if code := resumeFromStore(store, tr); code != exitOK {
+			return code
+		}
+	}
+
+	var wd *core.Watchdog
+	if *watchdogOn {
+		wd, err = core.NewWatchdog(tr, core.WatchdogConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 
 	fmt.Printf("training %s on %s with %d agents, sampler=%s, batch=%d, %d episodes\n",
 		*algoName, env.Name(), *agents, *sampler, *batch, *episodes)
@@ -106,8 +193,15 @@ func main() {
 	var window float64
 	count := 0
 	var curve []float64
-	tr.RunEpisodes(*episodes, func(ep int, reward float64) {
-		window += reward
+	completed := 0
+	interrupted := false
+	for completed < *episodes && !interrupted {
+		if !tr.Step() {
+			continue
+		}
+		completed++
+		ep := tr.EpisodeCount()
+		window += tr.LastEpisodeReward()
 		count++
 		if ep%*logEvery == 0 {
 			mean := window / float64(count)
@@ -116,15 +210,47 @@ func main() {
 				ep, mean, tr.UpdateCount(), time.Since(start).Round(time.Millisecond))
 			window, count = 0, 0
 		}
-	})
-	fmt.Printf("\ndone in %v (%d env steps, %d updates)\n\n",
-		time.Since(start).Round(time.Millisecond), tr.TotalSteps(), tr.UpdateCount())
+		if wd != nil {
+			ev, err := wd.Observe()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "watchdog:", err)
+				return exitError
+			}
+			if ev != nil {
+				fmt.Fprintf(os.Stderr, "watchdog: rolled back to episode %d: %v\n", ev.Episode, ev.Reason)
+			}
+		}
+		if store != nil && *checkpointEvery > 0 && completed%*checkpointEvery == 0 {
+			if err := saveSnapshot(store, tr); err != nil {
+				// The store already retried; a persistent failure should not
+				// kill a healthy training run, but it must be loud.
+				fmt.Fprintln(os.Stderr, "warning: periodic snapshot failed:", err)
+			}
+		}
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "\n%v: episode finished, writing final snapshot\n", sig)
+			interrupted = true
+		default:
+		}
+	}
+	if store != nil {
+		if err := saveSnapshot(store, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "final snapshot:", err)
+			return exitError
+		}
+		fmt.Printf("snapshot generation %d written to %s\n", tr.EpisodeCount(), store.Dir())
+	}
+
+	fmt.Printf("\n%s after %v (%d env steps, %d updates, %d episodes total)\n\n",
+		map[bool]string{false: "done", true: "interrupted"}[interrupted],
+		time.Since(start).Round(time.Millisecond), tr.TotalSteps(), tr.UpdateCount(), tr.EpisodeCount())
 	if len(curve) > 1 {
 		fmt.Printf("reward trend: %s\n\n", plot.Sparkline(curve))
 	}
 	fmt.Print(tr.Profile().Report())
 
-	if *evalEps > 0 {
+	if !interrupted && *evalEps > 0 {
 		fmt.Printf("\ngreedy evaluation over %d episodes: mean reward %.2f\n", *evalEps, tr.Evaluate(*evalEps))
 	}
 	if *render {
@@ -134,20 +260,102 @@ func main() {
 		}
 	}
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
+		if err := writeBareCheckpoint(tr, *savePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := tr.SaveCheckpoint(f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "saving checkpoint:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
+	if interrupted {
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+// resumeFromStore restores trainer, replay experience and RNG state from the
+// newest intact snapshot generation, falling back past corrupt ones. A
+// missing directory or an empty store starts fresh; a store whose every
+// generation is corrupt is a hard error (the operator should look before
+// training blows the evidence away).
+func resumeFromStore(store *resilience.Store, tr *marlperf.Trainer) int {
+	snap, seq, skipped, err := store.LoadLatest()
+	for _, g := range skipped {
+		fmt.Fprintf(os.Stderr, "warning: skipping corrupt snapshot %v\n", g)
+		tr.Profile().Event(profiler.EventResumeFallback, 1)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, resilience.ErrNoSnapshot) && len(skipped) == 0:
+		fmt.Printf("no snapshot in %s; starting fresh\n", store.Dir())
+		return exitOK
+	default:
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		return exitError
+	}
+
+	payload, ok := snap.Section(resilience.SectionTrainer)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "resume: generation %d has no trainer section\n", seq)
+		return exitError
+	}
+	if err := tr.LoadCheckpoint(bytes.NewReader(payload)); err != nil {
+		fmt.Fprintln(os.Stderr, "resume: trainer:", err)
+		return exitError
+	}
+	if payload, ok = snap.Section(resilience.SectionReplay); ok {
+		buf, err := replay.ReadBuffer(bytes.NewReader(payload))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resume: replay buffer:", err)
+			return exitError
+		}
+		if err := tr.RestoreExperience(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "resume:", err)
+			return exitError
+		}
+	}
+	if payload, ok = snap.Section(resilience.SectionRunState); ok {
+		if err := tr.LoadRunState(bytes.NewReader(payload)); err != nil {
+			fmt.Fprintln(os.Stderr, "resume: run state:", err)
+			return exitError
+		}
+	}
+	fmt.Printf("resumed from generation %d (%d episodes, %d steps, %d updates, %d stored transitions)\n",
+		seq, tr.EpisodeCount(), tr.TotalSteps(), tr.UpdateCount(), tr.Buffer().Len())
+	return exitOK
+}
+
+// saveSnapshot bundles the trainer checkpoint, replay buffer and run state
+// into one atomic, CRC-protected snapshot generation keyed by episode count.
+func saveSnapshot(store *resilience.Store, tr *marlperf.Trainer) error {
+	var trainerBuf, replayBuf, runBuf bytes.Buffer
+	if err := tr.SaveCheckpoint(&trainerBuf); err != nil {
+		return err
+	}
+	if _, err := tr.Buffer().WriteTo(&replayBuf); err != nil {
+		return err
+	}
+	if err := tr.SaveRunState(&runBuf); err != nil {
+		return err
+	}
+	if _, err := store.Save(uint64(tr.EpisodeCount()), []resilience.Section{
+		{Kind: resilience.SectionTrainer, Payload: trainerBuf.Bytes()},
+		{Kind: resilience.SectionReplay, Payload: replayBuf.Bytes()},
+		{Kind: resilience.SectionRunState, Payload: runBuf.Bytes()},
+	}); err != nil {
+		return err
+	}
+	tr.Profile().Event(profiler.EventCheckpointWritten, 1)
+	return nil
+}
+
+func writeBareCheckpoint(tr *marlperf.Trainer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return fmt.Errorf("saving checkpoint: %w", err)
+	}
+	return f.Close()
 }

@@ -1,28 +1,38 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"marlperf/internal/nn"
+	"marlperf/internal/resilience"
 )
 
 // Checkpoint format: magic "MARL" | uint32 version | uint8 algorithm |
 // uint32 numAgents | per agent: actor, target actor, critic1, target
 // critic1, (MATD3: critic2, target critic2) networks, then actor and
-// critic optimizers | uint64 totalSteps, updateCount, episodeCount.
+// critic optimizers | uint64 totalSteps, updateCount, episodeCount |
+// (v2) uint32 CRC32-IEEE of every preceding byte.
 // The replay buffer and RNG stream are not serialized: a restored trainer
 // resumes learning from fresh experience with the learned parameters.
+// Bundling those alongside the checkpoint is the resilience snapshot's job.
+//
+// Version history: v1 had no integrity trailer; v2 appends the CRC32 so
+// truncated or bit-flipped checkpoints are rejected instead of partially
+// loaded. v1 files are still read (without verification).
 
 const (
 	checkpointMagic   = "MARL"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // SaveCheckpoint writes the trainer's learned state (all networks,
-// optimizer moments, progress counters).
-func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+// optimizer moments, progress counters) followed by a CRC32 trailer.
+func (t *Trainer) SaveCheckpoint(dst io.Writer) error {
+	w := resilience.NewCRCWriter(dst)
 	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
 		return err
 	}
@@ -65,11 +75,15 @@ func (t *Trainer) SaveCheckpoint(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return w.WriteTrailer()
 }
 
 // LoadCheckpoint restores state written by SaveCheckpoint into a trainer
-// built with the same algorithm, agent count and network architecture.
+// built with the same algorithm, agent count and network architecture. For
+// v2 checkpoints the CRC32 trailer is verified over the whole stream before
+// any trainer state is touched, so a truncated or bit-flipped file is
+// rejected outright rather than partially loaded; v1 files (no trailer) are
+// still accepted unverified.
 func (t *Trainer) LoadCheckpoint(r io.Reader) error {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
@@ -80,11 +94,43 @@ func (t *Trainer) LoadCheckpoint(r io.Reader) error {
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return fmt.Errorf("core: reading checkpoint version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[:]); v != checkpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", v, checkpointVersion)
+	switch v := binary.LittleEndian.Uint32(hdr[:]); v {
+	case 1:
+		// Legacy trailer-less stream: parse directly.
+		return t.loadCheckpointBody(r)
+	case checkpointVersion:
+		// Hash the body, verify the trailer, then parse from memory — no
+		// trainer state changes before the checksum is known good.
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("core: reading checkpoint: %w", err)
+		}
+		if len(body) < 4 {
+			return fmt.Errorf("core: checkpoint truncated before checksum trailer")
+		}
+		trailer := binary.LittleEndian.Uint32(body[len(body)-4:])
+		body = body[:len(body)-4]
+		if got := checkpointCRC(magic[:], hdr[:], body); got != trailer {
+			return fmt.Errorf("core: checkpoint checksum mismatch %08x != %08x (corrupt or truncated)", got, trailer)
+		}
+		return t.loadCheckpointBody(bytes.NewReader(body))
+	default:
+		return fmt.Errorf("core: checkpoint version %d, want ≤%d", v, checkpointVersion)
 	}
+}
+
+// checkpointCRC recomputes the v2 trailer checksum over header and body.
+func checkpointCRC(magic, version, body []byte) uint32 {
+	crc := crc32.Update(0, crc32.IEEETable, magic)
+	crc = crc32.Update(crc, crc32.IEEETable, version)
+	return crc32.Update(crc, crc32.IEEETable, body)
+}
+
+// loadCheckpointBody parses everything after the magic and version fields.
+func (t *Trainer) loadCheckpointBody(r io.Reader) error {
+	var hdr [4]byte
 	var algo [1]byte
 	if _, err := io.ReadFull(r, algo[:]); err != nil {
 		return err

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"marlperf/internal/replay"
+)
+
+// RestoreExperience replays every transition stored in src (oldest first)
+// through the trainer's live replay path. Re-Adding — instead of swapping
+// the buffer pointer — keeps the sampler listeners registered at NewTrainer
+// time attached and re-derives their state (priority trees, episode runs),
+// and rebuilds the optional key-value table alongside. src typically comes
+// from replay.ReadBuffer over a snapshot's replay section.
+func (t *Trainer) RestoreExperience(src *replay.Buffer) error {
+	want, got := t.buf.Spec(), src.Spec()
+	if got.NumAgents != want.NumAgents || got.ActDim != want.ActDim {
+		return fmt.Errorf("core: restored buffer shape %d agents × act %d, trainer wants %d × %d",
+			got.NumAgents, got.ActDim, want.NumAgents, want.ActDim)
+	}
+	for a, od := range want.ObsDims {
+		if got.ObsDims[a] != od {
+			return fmt.Errorf("core: restored buffer agent %d obs dim %d, trainer wants %d",
+				a, got.ObsDims[a], od)
+		}
+	}
+	obs := make([][]float64, t.n)
+	act := make([][]float64, t.n)
+	nextObs := make([][]float64, t.n)
+	rew := make([]float64, t.n)
+	done := make([]float64, t.n)
+	for a := 0; a < t.n; a++ {
+		obs[a] = make([]float64, want.ObsDims[a])
+		nextObs[a] = make([]float64, want.ObsDims[a])
+		act[a] = make([]float64, want.ActDim)
+	}
+	for _, idx := range src.InsertionOrder() {
+		src.CopyTransition(idx, obs, act, rew, nextObs, done)
+		t.buf.Add(obs, act, rew, nextObs, done)
+		if t.kv != nil {
+			t.kv.Add(obs, act, rew, nextObs, done)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"marlperf/internal/mpe"
+	"marlperf/internal/replay"
+)
+
+func TestRestoreExperienceRefillsBufferAndSamplers(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	var buf bytes.Buffer
+	if _, err := tr.Buffer().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := replay.ReadBuffer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh trainer with a prioritized sampler: Add must fire
+	// the listeners registered at NewTrainer time so the priority tree covers
+	// the restored experience.
+	cfg := smallConfig(MADDPG)
+	cfg.Sampler = SamplerPER
+	fresh, err := NewTrainer(cfg, mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreExperience(restored); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Buffer().Len(), tr.Buffer().Len(); got != want {
+		t.Fatalf("restored buffer holds %d transitions, want %d", got, want)
+	}
+	// The PER sampler must be able to draw a batch from the restored
+	// experience (panics if its tree is empty).
+	fresh.UpdateAllTrainers()
+}
+
+func TestRestoreExperienceRejectsShapeMismatch(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	other, err := NewTrainer(smallConfig(MADDPG), mpe.NewCooperativeNavigation(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Warmup(5)
+	var buf bytes.Buffer
+	if _, err := other.Buffer().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := replay.ReadBuffer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RestoreExperience(restored); err == nil {
+		t.Fatal("mismatched buffer shape accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Run state is the small non-checkpoint remainder a resumable run needs:
+// the RNG continuation seed. Progress counters travel in the checkpoint;
+// experience travels in the replay buffer; this section makes the restored
+// exploration stream deterministic instead of wall-clock dependent.
+//
+// Format (little-endian): magic "MRUN" | uint32 version | uint64 seed.
+// Integrity is the enclosing snapshot's job (resilience.WriteSnapshot CRCs
+// every section), so the payload carries no trailer of its own.
+
+const (
+	runStateMagic   = "MRUN"
+	runStateVersion = 1
+)
+
+// SaveRunState writes the run-state section. It draws the continuation
+// seed from the live RNG stream (advancing it by one value), so every save
+// point yields a distinct, deterministic future.
+func (t *Trainer) SaveRunState(w io.Writer) error {
+	if _, err := w.Write([]byte(runStateMagic)); err != nil {
+		return err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], runStateVersion)
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(t.rng.Int63()))
+	_, err := w.Write(seed[:])
+	return err
+}
+
+// LoadRunState restores the section written by SaveRunState, reseeding the
+// trainer's RNG with the recorded continuation seed.
+func (t *Trainer) LoadRunState(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("core: reading run-state magic: %w", err)
+	}
+	if string(magic[:]) != runStateMagic {
+		return fmt.Errorf("core: bad run-state magic %q", magic)
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("core: reading run-state version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(b[:]); v != runStateVersion {
+		return fmt.Errorf("core: run-state version %d, want %d", v, runStateVersion)
+	}
+	var seed [8]byte
+	if _, err := io.ReadFull(r, seed[:]); err != nil {
+		return fmt.Errorf("core: reading run-state seed: %w", err)
+	}
+	t.ReseedRNG(int64(binary.LittleEndian.Uint64(seed[:])))
+	return nil
+}

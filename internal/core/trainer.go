@@ -42,6 +42,10 @@ type Trainer struct {
 	updateCount   int
 	actorUpdCount int
 
+	// Health signals for the watchdog.
+	lastTDMean    float64 // mean |TD error| of the most recent critic update
+	sanitizedSeen uint64  // sampler clamp count already forwarded to the profiler
+
 	// Joint-space layout: column offsets of each agent's observation and
 	// action block in the critic input [obs_1..obs_N, act_1..act_N].
 	jointDim   int
@@ -223,6 +227,19 @@ func (t *Trainer) interact(timed bool) bool {
 		obsRow.Rows, obsRow.Cols, obsRow.Data = 1, t.obsDims[i], t.obs[i]
 		logits := t.agents[i].actor.Forward(obsRow)
 		nn.GumbelSoftmaxRow(t.actionProbs[i], logits.Row(0), t.cfg.GumbelTau, t.rng)
+		if !finiteSlice(t.actionProbs[i]) {
+			// A diverged actor must not write NaN actions into the replay
+			// buffer: one poisoned row re-poisons every batch that samples
+			// it, even after a watchdog rollback restores the weights. Act
+			// uniformly at random until the watchdog recovers.
+			uniform := 1 / float64(t.actDim)
+			for k := range t.actionProbs[i] {
+				t.actionProbs[i][k] = uniform
+			}
+			t.actionIdx[i] = t.rng.Intn(t.actDim)
+			t.prof.Event(profiler.EventActionSanitized, 1)
+			continue
+		}
 		t.actionIdx[i] = tensor.ArgMax(t.actionProbs[i])
 	}
 	if timed {
@@ -342,6 +359,12 @@ func (t *Trainer) UpdateAllTrainers() {
 			ps.UpdatePriorities(sample.Indices, t.tdAbs[:len(sample.Indices)])
 		}
 	}
+	if sc, ok := t.sampler.(interface{ SanitizedCount() uint64 }); ok {
+		if n := sc.SanitizedCount(); n > t.sanitizedSeen {
+			t.prof.Event(profiler.EventPriorityClamped, n-t.sanitizedSeen)
+			t.sanitizedSeen = n
+		}
+	}
 
 	if !delayedStep {
 		t.prof.Start(profiler.PhaseQPLoss)
@@ -409,6 +432,11 @@ func (t *Trainer) updateCritics(i int, weights []float64) {
 
 	q := ag.critic1.Forward(t.jointCur)
 	nn.WeightedMSELoss(t.qGrad, q, t.yTarget, weights, t.tdAbs)
+	var tdSum float64
+	for _, v := range t.tdAbs {
+		tdSum += v
+	}
+	t.lastTDMean = tdSum / float64(len(t.tdAbs))
 	ag.critic1.ZeroGrads()
 	ag.critic1.Backward(t.qGrad)
 	ag.critic1.ClipGradients(t.cfg.ClipNorm)

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"marlperf/internal/nn"
+	"marlperf/internal/profiler"
+)
+
+// Healthy reports nil when the trainer's numerical state is finite: the
+// most recent mean |TD error| and every parameter of every network. A NaN
+// or Inf anywhere means the run is training on poisoned weights and every
+// further update is wasted — the watchdog rolls back instead.
+func (t *Trainer) Healthy() error {
+	if t.updateCount > 0 && !isFinite(t.lastTDMean) {
+		return fmt.Errorf("core: mean |TD error| is %v after update %d", t.lastTDMean, t.updateCount)
+	}
+	for i, ag := range t.agents {
+		nets := []struct {
+			name string
+			net  *nn.Network
+		}{
+			{"actor", ag.actor}, {"target-actor", ag.targetActor},
+			{"critic1", ag.critic1}, {"target-critic1", ag.targetCritic1},
+			{"critic2", ag.critic2}, {"target-critic2", ag.targetCritic2},
+		}
+		for _, n := range nets {
+			if n.net == nil {
+				continue
+			}
+			for pi, p := range n.net.Params() {
+				for _, v := range p.Data {
+					if !isFinite(v) {
+						return fmt.Errorf("core: agent %d %s param %d contains %v", i, n.name, pi, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LastTDMean returns the mean |TD error| of the most recent critic update.
+func (t *Trainer) LastTDMean() float64 { return t.lastTDMean }
+
+// ReseedRNG replaces the trainer's RNG stream. The watchdog uses this after
+// a rollback so a divergence caused by an unlucky noise draw is not
+// replayed deterministically.
+func (t *Trainer) ReseedRNG(seed int64) { t.rng.Seed(seed) }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finiteSlice(vs []float64) bool {
+	for _, v := range vs {
+		if !isFinite(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// WatchdogConfig tunes divergence detection and recovery.
+type WatchdogConfig struct {
+	// CheckEvery is how many healthy Observe calls pass between snapshot
+	// refreshes (default 1: every healthy observation becomes the new
+	// rollback target).
+	CheckEvery int
+	// StallSteps is how many env steps may pass without a completed
+	// episode before the run counts as stalled (default 10 episodes'
+	// worth of steps).
+	StallSteps int
+	// MaxRollbacks bounds recovery attempts; past it the watchdog reports
+	// an error instead of looping on a deterministic divergence (default 8).
+	MaxRollbacks int
+}
+
+// RecoveryEvent describes one watchdog intervention.
+type RecoveryEvent struct {
+	Reason  error // what Healthy (or the stall detector) found
+	Episode int   // episode count restored by the rollback
+}
+
+// Watchdog guards a training run against numerical divergence and stalls.
+// The caller invokes Observe at episode boundaries; the watchdog keeps an
+// in-memory copy of the last known-good checkpoint and, when the trainer
+// goes non-finite or stops completing episodes, restores it — continuing
+// from the last good weights instead of training on poison. Recoveries are
+// counted through the trainer's profiler events.
+type Watchdog struct {
+	tr  *Trainer
+	cfg WatchdogConfig
+
+	good        []byte // serialized last-good checkpoint
+	goodEpisode int
+	healthySeen int
+
+	stepsAtEpisode int // totalSteps when episodeCount last advanced
+	lastEpisode    int
+
+	rollbacks int
+}
+
+// NewWatchdog builds a watchdog over tr, capturing the current (healthy)
+// state as the first rollback target.
+func NewWatchdog(tr *Trainer, cfg WatchdogConfig) (*Watchdog, error) {
+	if cfg.CheckEvery < 1 {
+		cfg.CheckEvery = 1
+	}
+	if cfg.StallSteps < 1 {
+		cfg.StallSteps = 10 * tr.cfg.MaxEpisodeLen
+	}
+	if cfg.MaxRollbacks < 1 {
+		cfg.MaxRollbacks = 8
+	}
+	w := &Watchdog{
+		tr:             tr,
+		cfg:            cfg,
+		lastEpisode:    tr.episodeCount,
+		stepsAtEpisode: tr.totalSteps,
+	}
+	if err := tr.Healthy(); err != nil {
+		return nil, fmt.Errorf("core: watchdog started on unhealthy trainer: %w", err)
+	}
+	if err := w.capture(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Rollbacks returns how many times the watchdog has restored a snapshot.
+func (w *Watchdog) Rollbacks() int { return w.rollbacks }
+
+// capture refreshes the in-memory rollback target from the live trainer.
+func (w *Watchdog) capture() error {
+	var buf bytes.Buffer
+	if err := w.tr.SaveCheckpoint(&buf); err != nil {
+		return fmt.Errorf("core: watchdog snapshot: %w", err)
+	}
+	w.good = buf.Bytes()
+	w.goodEpisode = w.tr.episodeCount
+	return nil
+}
+
+// Observe checks the trainer and recovers if it has diverged or stalled.
+// It returns a non-nil RecoveryEvent when a rollback happened, and an error
+// only when recovery itself is impossible (rollback budget exhausted, or
+// the restore failed).
+func (w *Watchdog) Observe() (*RecoveryEvent, error) {
+	unhealthy := w.tr.Healthy()
+	if unhealthy == nil {
+		if stalled := w.checkStall(); stalled != nil {
+			w.tr.prof.Event(profiler.EventWatchdogStall, 1)
+			unhealthy = stalled
+		}
+	}
+	if unhealthy == nil {
+		w.healthySeen++
+		if w.healthySeen >= w.cfg.CheckEvery {
+			w.healthySeen = 0
+			if err := w.capture(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	if w.rollbacks >= w.cfg.MaxRollbacks {
+		return nil, fmt.Errorf("core: watchdog exhausted %d rollbacks, run keeps diverging: %w",
+			w.rollbacks, unhealthy)
+	}
+	if err := w.tr.LoadCheckpoint(bytes.NewReader(w.good)); err != nil {
+		return nil, fmt.Errorf("core: watchdog rollback failed: %w", err)
+	}
+	w.rollbacks++
+	// Perturb the exploration stream so an unlucky noise draw is not
+	// replayed into the same divergence.
+	w.tr.ReseedRNG(w.tr.cfg.Seed + int64(w.rollbacks)*7919)
+	w.lastEpisode = w.tr.episodeCount
+	w.stepsAtEpisode = w.tr.totalSteps
+	w.healthySeen = 0
+	w.tr.prof.Event(profiler.EventWatchdogRollback, 1)
+	return &RecoveryEvent{Reason: unhealthy, Episode: w.goodEpisode}, nil
+}
+
+// checkStall reports an error when env steps keep accumulating with no
+// completed episode.
+func (w *Watchdog) checkStall() error {
+	if w.tr.episodeCount > w.lastEpisode {
+		w.lastEpisode = w.tr.episodeCount
+		w.stepsAtEpisode = w.tr.totalSteps
+		return nil
+	}
+	if advanced := w.tr.totalSteps - w.stepsAtEpisode; advanced > w.cfg.StallSteps {
+		return fmt.Errorf("core: %d env steps without a completed episode (stall threshold %d)",
+			advanced, w.cfg.StallSteps)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"marlperf/internal/mpe"
+	"marlperf/internal/profiler"
+	"marlperf/internal/replay"
+	"marlperf/internal/tensor"
+)
+
+func TestHealthyDetectsPoisonedParams(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	if err := tr.Healthy(); err != nil {
+		t.Fatalf("trained trainer unhealthy: %v", err)
+	}
+	tr.agents[1].critic1.Params()[0].Data[3] = math.NaN()
+	err := tr.Healthy()
+	if err == nil || !strings.Contains(err.Error(), "agent 1 critic1") {
+		t.Fatalf("Healthy = %v, want agent 1 critic1 complaint", err)
+	}
+}
+
+func TestHealthyDetectsNonFiniteTD(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	tr.lastTDMean = math.Inf(1)
+	if err := tr.Healthy(); err == nil || !strings.Contains(err.Error(), "TD") {
+		t.Fatalf("Healthy = %v, want TD complaint", err)
+	}
+}
+
+func TestWatchdogRollsBackOnNaN(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	wd, err := NewWatchdog(tr, WatchdogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodParam := tr.agents[0].actor.Params()[0].Clone()
+
+	// A few healthy observations refresh the snapshot and report nothing.
+	for i := 0; i < 3; i++ {
+		tr.Warmup(25)
+		if ev, err := wd.Observe(); err != nil || ev != nil {
+			t.Fatalf("healthy Observe: ev=%v err=%v", ev, err)
+		}
+	}
+	goodSteps := tr.TotalSteps()
+	goodParam = tr.agents[0].actor.Params()[0].Clone()
+
+	// Inject divergence: poison an actor parameter, as an exploded P-loss
+	// gradient would.
+	tr.agents[0].actor.Params()[0].Data[0] = math.NaN()
+	tr.Warmup(25)
+	ev, err := wd.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || ev.Reason == nil {
+		t.Fatal("divergence not recovered")
+	}
+	if wd.Rollbacks() != 1 {
+		t.Fatalf("Rollbacks = %d, want 1", wd.Rollbacks())
+	}
+	if !tensor.ApproxEqual(tr.agents[0].actor.Params()[0], goodParam, 0) {
+		t.Fatal("rollback did not restore the last good parameters")
+	}
+	if tr.TotalSteps() != goodSteps {
+		t.Fatalf("rollback restored %d steps, want %d", tr.TotalSteps(), goodSteps)
+	}
+	if err := tr.Healthy(); err != nil {
+		t.Fatalf("trainer unhealthy after rollback: %v", err)
+	}
+	if got := tr.Profile().EventCount(profiler.EventWatchdogRollback); got != 1 {
+		t.Fatalf("profiler rollback count = %d, want 1", got)
+	}
+
+	// The run continues to completion with finite rewards.
+	finite := true
+	tr.RunEpisodes(4, func(ep int, reward float64) {
+		if math.IsNaN(reward) || math.IsInf(reward, 0) {
+			finite = false
+		}
+	})
+	if !finite {
+		t.Fatal("post-recovery episodes produced non-finite rewards")
+	}
+	if _, err := wd.Observe(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteractSanitizesDivergedActions(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	// Poison agent 0's actor so its logits (and Gumbel-softmax probs) go NaN.
+	for _, p := range tr.agents[0].actor.Params() {
+		for i := range p.Data {
+			p.Data[i] = math.NaN()
+		}
+	}
+	before := tr.buf.Len()
+	tr.Warmup(20)
+	if tr.buf.Len() <= before {
+		t.Fatal("warmup added no transitions")
+	}
+	n := tr.buf.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	dst := make([]*replay.AgentBatch, tr.n)
+	for a := 0; a < tr.n; a++ {
+		dst[a] = replay.NewAgentBatch(n, tr.obsDims[a], tr.actDim)
+	}
+	tr.buf.GatherAll(idx, dst)
+	for a, b := range dst {
+		if !finiteSlice(b.Act.Data) {
+			t.Fatalf("agent %d: non-finite action row reached the replay buffer", a)
+		}
+		if !finiteSlice(b.Obs.Data) {
+			t.Fatalf("agent %d: non-finite obs row reached the replay buffer", a)
+		}
+	}
+	if got := tr.Profile().EventCount(profiler.EventActionSanitized); got == 0 {
+		t.Fatal("no action-sanitized events recorded")
+	}
+}
+
+func TestWatchdogExhaustsRollbackBudget(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	wd, err := NewWatchdog(tr, WatchdogConfig{MaxRollbacks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tr.agents[0].actor.Params()[0].Data[0] = math.NaN()
+		if _, err := wd.Observe(); err != nil {
+			t.Fatalf("rollback %d: %v", i+1, err)
+		}
+	}
+	tr.agents[0].actor.Params()[0].Data[0] = math.NaN()
+	if _, err := wd.Observe(); err == nil {
+		t.Fatal("third divergence should exhaust the budget")
+	}
+}
+
+func TestWatchdogDetectsStall(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	wd, err := NewWatchdog(tr, WatchdogConfig{StallSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a stuck env loop: steps accumulate, episodeCount frozen.
+	wd.stepsAtEpisode = tr.totalSteps - 100
+	ev, err := wd.Observe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || !strings.Contains(ev.Reason.Error(), "stall") {
+		t.Fatalf("stall not detected: %v", ev)
+	}
+	if got := tr.Profile().EventCount(profiler.EventWatchdogStall); got != 1 {
+		t.Fatalf("stall event count = %d, want 1", got)
+	}
+}
+
+func TestWatchdogRefusesUnhealthyStart(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	tr.agents[0].actor.Params()[0].Data[0] = math.NaN()
+	if _, err := NewWatchdog(tr, WatchdogConfig{}); err == nil {
+		t.Fatal("watchdog accepted an already-poisoned trainer")
+	}
+}
+
+func TestRunStateRoundTripReseedsDeterministically(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	var buf bytes.Buffer
+	if err := tr.SaveRunState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+
+	other, err := NewTrainer(smallConfig(MADDPG), mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadRunState(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewTrainer(smallConfig(MADDPG), mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := again.LoadRunState(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if a, b := other.rng.Int63(), again.rng.Int63(); a != b {
+			t.Fatalf("restored RNG streams diverge at draw %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestLoadRunStateRejectsGarbage(t *testing.T) {
+	tr := trainedTrainer(t, MADDPG)
+	if err := tr.LoadRunState(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage run state accepted")
+	}
+	if err := tr.LoadRunState(strings.NewReader("MRUNxxxxyyyyzzzz")); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}

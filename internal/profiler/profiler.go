@@ -5,6 +5,7 @@ package profiler
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -61,6 +62,42 @@ type Profile struct {
 	counts    [numPhases]uint64
 	started   [numPhases]time.Time
 	running   [numPhases]bool
+
+	events map[string]uint64
+}
+
+// Well-known event names recorded by the resilience machinery.
+const (
+	EventWatchdogRollback  = "watchdog-rollback"
+	EventWatchdogStall     = "watchdog-stall"
+	EventPriorityClamped   = "priority-clamped"
+	EventActionSanitized   = "action-sanitized"
+	EventCheckpointWritten = "checkpoint-written"
+	EventCheckpointRetried = "checkpoint-retried"
+	EventResumeFallback    = "resume-fallback"
+)
+
+// Event increments the named event counter by n. Events count discrete
+// occurrences (watchdog rollbacks, clamped priorities, checkpoint retries)
+// rather than timed phases.
+func (pr *Profile) Event(name string, n uint64) {
+	if pr.events == nil {
+		pr.events = make(map[string]uint64)
+	}
+	pr.events[name] += n
+}
+
+// EventCount returns the accumulated count of the named event.
+func (pr *Profile) EventCount(name string) uint64 { return pr.events[name] }
+
+// Events returns the event names recorded so far, sorted.
+func (pr *Profile) Events() []string {
+	names := make([]string, 0, len(pr.events))
+	for name := range pr.events {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Start begins timing phase p; nested starts of the same phase panic.
@@ -139,11 +176,14 @@ func (pr *Profile) PercentOfUpdate(p Phase) float64 {
 // Reset clears all accumulated data.
 func (pr *Profile) Reset() { *pr = Profile{} }
 
-// Merge accumulates other's durations and counts into pr.
+// Merge accumulates other's durations, counts and events into pr.
 func (pr *Profile) Merge(other *Profile) {
 	for i := range pr.durations {
 		pr.durations[i] += other.durations[i]
 		pr.counts[i] += other.counts[i]
+	}
+	for name, n := range other.events {
+		pr.Event(name, n)
 	}
 }
 
@@ -161,6 +201,12 @@ func (pr *Profile) Report() string {
 	fmt.Fprintf(&b, "%-22s %12v\n", "total", total.Round(time.Microsecond))
 	fmt.Fprintf(&b, "%-22s %12v (%.1f%% of total)\n", "update-all-trainers", pr.UpdateTrainers().Round(time.Microsecond),
 		percentOf(pr.UpdateTrainers(), total))
+	if len(pr.events) > 0 {
+		fmt.Fprintf(&b, "%-22s %12s\n", "event", "count")
+		for _, name := range pr.Events() {
+			fmt.Fprintf(&b, "%-22s %12d\n", name, pr.events[name])
+		}
+	}
 	return b.String()
 }
 

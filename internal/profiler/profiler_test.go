@@ -103,6 +103,39 @@ func TestPhasesCoversAll(t *testing.T) {
 	}
 }
 
+func TestEventCounters(t *testing.T) {
+	var p Profile
+	if p.EventCount(EventWatchdogRollback) != 0 {
+		t.Fatal("fresh profile should report zero events")
+	}
+	p.Event(EventWatchdogRollback, 1)
+	p.Event(EventWatchdogRollback, 2)
+	p.Event(EventPriorityClamped, 5)
+	if got := p.EventCount(EventWatchdogRollback); got != 3 {
+		t.Fatalf("EventCount(rollback) = %d, want 3", got)
+	}
+	if got := p.Events(); len(got) != 2 || got[0] != EventPriorityClamped {
+		t.Fatalf("Events() = %v", got)
+	}
+	r := p.Report()
+	for _, want := range []string{EventWatchdogRollback, EventPriorityClamped} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Report missing event %q:\n%s", want, r)
+		}
+	}
+
+	var other Profile
+	other.Event(EventPriorityClamped, 7)
+	p.Merge(&other)
+	if got := p.EventCount(EventPriorityClamped); got != 12 {
+		t.Fatalf("merged EventCount = %d, want 12", got)
+	}
+	p.Reset()
+	if len(p.Events()) != 0 {
+		t.Fatal("Reset should clear events")
+	}
+}
+
 func TestReportContainsPhases(t *testing.T) {
 	var p Profile
 	p.Add(PhaseSampling, 10*time.Millisecond)

@@ -239,6 +239,40 @@ func (b *Buffer) GatherAll(indices []int, dst []*AgentBatch) {
 	}
 }
 
+// InsertionOrder returns the stored slot indices ordered oldest-first. When
+// the ring has wrapped, the oldest transition sits at the write cursor; a
+// restore that re-Adds in this order reproduces the original recency layout
+// (which the locality samplers' neighbor runs depend on).
+func (b *Buffer) InsertionOrder() []int {
+	out := make([]int, b.length)
+	start := 0
+	if b.length == b.spec.Capacity {
+		start = b.next
+	}
+	for i := range out {
+		out[i] = (start + i) % b.spec.Capacity
+	}
+	return out
+}
+
+// CopyTransition copies slot idx into the supplied per-agent rows, each
+// pre-sized to the spec (obs/nextObs rows ObsDims[a] wide, act rows ActDim
+// wide). Restore paths use it to replay stored experience through another
+// buffer's Add, firing that buffer's listeners.
+func (b *Buffer) CopyTransition(idx int, obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) {
+	if idx < 0 || idx >= b.length {
+		panic(fmt.Sprintf("replay: CopyTransition index %d outside [0,%d)", idx, b.length))
+	}
+	for a := 0; a < b.spec.NumAgents; a++ {
+		od := b.spec.ObsDims[a]
+		copy(obs[a], b.obs[a][idx*od:(idx+1)*od])
+		copy(act[a], b.act[a][idx*b.spec.ActDim:(idx+1)*b.spec.ActDim])
+		rew[a] = b.rew[a][idx]
+		copy(nextObs[a], b.nextObs[a][idx*od:(idx+1)*od])
+		done[a] = b.done[a][idx]
+	}
+}
+
 // DoneFlag returns agent a's stored done flag at slot idx.
 func (b *Buffer) DoneFlag(a, idx int) float64 {
 	if idx < 0 || idx >= b.length {

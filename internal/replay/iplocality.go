@@ -112,10 +112,13 @@ func (s *IPLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
 }
 
 // UpdatePriorities implements PrioritySampler, feeding TD errors back into
-// the shared priority tree.
+// the shared priority tree (with the PER core's NaN/Inf/negative clamping).
 func (s *IPLocalitySampler) UpdatePriorities(indices []int, tdAbs []float64) {
 	s.per.UpdatePriorities(indices, tdAbs)
 }
+
+// SanitizedCount returns how many TD errors the shared PER core clamped.
+func (s *IPLocalitySampler) SanitizedCount() uint64 { return s.per.SanitizedCount() }
 
 // PER exposes the underlying proportional core (for tests and ablations).
 func (s *IPLocalitySampler) PER() *PERSampler { return s.per }

@@ -19,6 +19,22 @@ type PERSampler struct {
 	Eps   float64
 
 	maxPriority float64 // running max, assigned to fresh transitions
+	sanitized   uint64  // TD errors clamped by sanitizePriority
+}
+
+// priorityFloor replaces NaN, Inf and negative TD errors. One bad priority
+// in the sum tree poisons every subsequent proportional sample (NaN totals
+// make Find undefined; Inf swallows the whole distribution), so divergent
+// updates are clamped to a tiny positive priority instead of propagated.
+const priorityFloor = 1e-8
+
+// sanitizePriority returns a safe priority for td and whether it had to be
+// clamped.
+func sanitizePriority(td float64) (float64, bool) {
+	if math.IsNaN(td) || math.IsInf(td, 0) || td < 0 {
+		return priorityFloor, true
+	}
+	return td, false
 }
 
 // NewPERSampler builds a proportional PER sampler over buf with the
@@ -86,19 +102,28 @@ func (s *PERSampler) Sample(n int, rng *rand.Rand) Sample {
 	return Sample{Indices: idx, Weights: weights}
 }
 
-// UpdatePriorities implements PrioritySampler.
+// UpdatePriorities implements PrioritySampler. Non-finite and negative TD
+// errors are clamped to priorityFloor (and counted) before they can enter
+// the sum tree.
 func (s *PERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
 	if len(indices) != len(tdAbs) {
 		panic(fmt.Sprintf("replay: UpdatePriorities got %d indices, %d errors", len(indices), len(tdAbs)))
 	}
 	for i, idx := range indices {
-		td := tdAbs[i]
+		td, clamped := sanitizePriority(tdAbs[i])
+		if clamped {
+			s.sanitized++
+		}
 		if td > s.maxPriority {
 			s.maxPriority = td
 		}
 		s.tree.Set(idx, math.Pow(td+s.Eps, s.Alpha))
 	}
 }
+
+// SanitizedCount returns how many TD errors were clamped because they were
+// NaN, Inf or negative.
+func (s *PERSampler) SanitizedCount() uint64 { return s.sanitized }
 
 // NormalizedPriority returns leaf idx's priority scaled to [0, 1] by the
 // current max — the "normalized weight" the IP predictor thresholds.

@@ -25,6 +25,7 @@ type RankPERSampler struct {
 	cum        []float64 // cumulative 1/rank masses over order
 	dirty      bool
 	maxPri     float64
+	sanitized  uint64 // TD errors clamped by sanitizePriority
 }
 
 // NewRankPERSampler builds a rank-based sampler over buf with β=0.4.
@@ -103,7 +104,10 @@ func (s *RankPERSampler) Sample(n int, rng *rand.Rand) Sample {
 	return Sample{Indices: idx, Weights: weights}
 }
 
-// UpdatePriorities implements PrioritySampler.
+// UpdatePriorities implements PrioritySampler. Non-finite and negative TD
+// errors are clamped to priorityFloor (and counted) before they can skew
+// the rank order — a single NaN priority makes the sort comparator
+// inconsistent, scrambling every subsequent rank.
 func (s *RankPERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
 	if len(indices) != len(tdAbs) {
 		panic(fmt.Sprintf("replay: UpdatePriorities got %d indices, %d errors", len(indices), len(tdAbs)))
@@ -112,7 +116,10 @@ func (s *RankPERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
 		if idx < 0 || idx >= len(s.priorities) {
 			panic(fmt.Sprintf("replay: priority index %d outside [0,%d)", idx, len(s.priorities)))
 		}
-		td := tdAbs[i]
+		td, clamped := sanitizePriority(tdAbs[i])
+		if clamped {
+			s.sanitized++
+		}
 		if td > s.maxPri {
 			s.maxPri = td
 		}
@@ -120,3 +127,7 @@ func (s *RankPERSampler) UpdatePriorities(indices []int, tdAbs []float64) {
 	}
 	s.dirty = true
 }
+
+// SanitizedCount returns how many TD errors were clamped because they were
+// NaN, Inf or negative.
+func (s *RankPERSampler) SanitizedCount() uint64 { return s.sanitized }

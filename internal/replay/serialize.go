@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"marlperf/internal/resilience"
 )
 
 // Buffer persistence: collected experience can be saved and restored so
@@ -14,16 +16,24 @@ import (
 // Format (little-endian): magic "MARB" | uint32 version | uint32 numAgents
 // | uint32 actDim | uint32 capacity | per agent uint32 obsDim |
 // uint32 length | uint32 next | per agent: length·obsDim obs float64s,
-// length·actDim act, length rew, length·obsDim nextObs, length done.
+// length·actDim act, length rew, length·obsDim nextObs, length done |
+// (v2) uint32 CRC32-IEEE of every preceding byte.
+//
+// Version history: v1 had no integrity trailer; v2 appends the CRC32 so a
+// truncated or bit-flipped buffer file is rejected with a descriptive error
+// instead of silently restoring damaged experience. v1 files are still
+// read (without verification).
 
 const (
 	bufMagic   = "MARB"
-	bufVersion = 1
+	bufVersion = 2
 )
 
-// WriteTo serializes the buffer's spec and stored transitions.
+// WriteTo serializes the buffer's spec and stored transitions, appending a
+// CRC32 trailer.
 func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
+	crc := resilience.NewCRCWriter(w)
+	cw := &countingWriter{w: crc}
 	if _, err := cw.Write([]byte(bufMagic)); err != nil {
 		return cw.n, err
 	}
@@ -51,12 +61,21 @@ func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return cw.n, nil
+	// The trailer is not part of its own checksum: write it to the
+	// underlying writer, counting its bytes by hand.
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum())
+	n, err := w.Write(trailer[:])
+	cw.n += int64(n)
+	return cw.n, err
 }
 
 // ReadBuffer deserializes a buffer written by WriteTo, allocating storage
-// for the recorded capacity.
-func ReadBuffer(r io.Reader) (*Buffer, error) {
+// for the recorded capacity. v2 streams are verified against their CRC32
+// trailer before the buffer is returned; v1 streams load unverified.
+func ReadBuffer(src io.Reader) (*Buffer, error) {
+	crc := resilience.NewCRCReader(src)
+	var r io.Reader = crc
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("replay: reading buffer magic: %w", err)
@@ -68,8 +87,8 @@ func ReadBuffer(r io.Reader) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != bufVersion {
-		return nil, fmt.Errorf("replay: buffer version %d, want %d", version, bufVersion)
+	if version != 1 && version != bufVersion {
+		return nil, fmt.Errorf("replay: buffer version %d, want ≤%d", version, bufVersion)
 	}
 	numAgents, err := getU32(r)
 	if err != nil {
@@ -124,6 +143,11 @@ func ReadBuffer(r io.Reader) (*Buffer, error) {
 			if err := getF64s(r, field); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if version >= 2 {
+		if err := crc.VerifyTrailer("replay: buffer"); err != nil {
+			return nil, err
 		}
 	}
 	return buf, nil

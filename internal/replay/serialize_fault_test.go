@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"marlperf/internal/resilience"
+)
+
+// Fault-injection coverage for the v2 MARB format: bit flips anywhere in
+// the stream, short writes, and legacy v1 (trailer-less) compatibility.
+
+func bufferBytes(t *testing.T) []byte {
+	t.Helper()
+	b := NewBuffer(testSpec(8))
+	fillBuffer(b, 6)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBufferRejectsEveryBitFlip(t *testing.T) {
+	data := bufferBytes(t)
+	for off := 0; off < len(data); off++ {
+		r := &resilience.BitFlipReader{R: bytes.NewReader(data), Offset: int64(off), Mask: 0x08}
+		if _, err := ReadBuffer(r); err == nil {
+			t.Fatalf("bit flip at offset %d/%d accepted", off, len(data))
+		}
+	}
+}
+
+func TestWriteToPropagatesShortWrites(t *testing.T) {
+	b := NewBuffer(testSpec(8))
+	fillBuffer(b, 6)
+	full := int64(len(bufferBytes(t)))
+	for _, allow := range []int64{0, 5, 30, full / 2, full - 1} {
+		fw := &resilience.FaultWriter{W: &bytes.Buffer{}, Remaining: allow, Short: true}
+		if _, err := b.WriteTo(fw); err == nil {
+			t.Fatalf("short write after %d bytes not reported", allow)
+		}
+	}
+}
+
+func TestReadBufferReadsV1(t *testing.T) {
+	data := bufferBytes(t)
+	// A v1 stream is the v2 stream with the version field rewound and the
+	// CRC trailer stripped.
+	v1 := append([]byte(nil), data[:len(data)-4]...)
+	v1[4] = 1
+	restored, err := ReadBuffer(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 buffer rejected: %v", err)
+	}
+	if restored.Len() != 6 || restored.Capacity() != 8 {
+		t.Fatalf("v1 restore: Len=%d Cap=%d", restored.Len(), restored.Capacity())
+	}
+}
+
+func TestReadBufferRejectsTruncatedEverywhere(t *testing.T) {
+	data := bufferBytes(t)
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := ReadBuffer(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+	if _, err := ReadBuffer(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Fatal("truncation of trailer accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	for _, content := range []string{"first", "second generation"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("content = %q, want %q", got, content)
+		}
+	}
+}
+
+func TestWriteFileAtomicFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("producer failed")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("old content destroyed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %v", entries)
+	}
+}
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"out.bin.tmp-1", "out.bin.tmp-2", "out.bin", "other"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := RemoveStaleTemps(dir, "out.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("removed %d temps, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.bin")); err != nil {
+		t.Fatal("real file removed")
+	}
+}

@@ -1,0 +1,64 @@
+package resilience
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// CRCWriter accumulates an IEEE CRC32 over everything written through it.
+// The checkpoint formats (MARL, MARB, MSNP) write their body through one and
+// append Sum() as a trailer.
+type CRCWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+// NewCRCWriter wraps w with checksum accumulation.
+func NewCRCWriter(w io.Writer) *CRCWriter { return &CRCWriter{w: w} }
+
+func (c *CRCWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Sum returns the checksum of the bytes written so far.
+func (c *CRCWriter) Sum() uint32 { return c.crc }
+
+// WriteTrailer appends the accumulated checksum to the underlying writer
+// (the trailer is not part of its own checksum).
+func (c *CRCWriter) WriteTrailer() error { return writeU32(c.w, c.crc) }
+
+// CRCReader accumulates an IEEE CRC32 over everything read through it.
+type CRCReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+// NewCRCReader wraps r with checksum accumulation.
+func NewCRCReader(r io.Reader) *CRCReader { return &CRCReader{r: r} }
+
+func (c *CRCReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Sum returns the checksum of the bytes read so far.
+func (c *CRCReader) Sum() uint32 { return c.crc }
+
+// VerifyTrailer reads the 4-byte checksum trailer from the underlying
+// reader (so the trailer itself is not hashed) and compares it with the
+// accumulated sum, labelling any mismatch with what.
+func (c *CRCReader) VerifyTrailer(what string) error {
+	want := c.crc
+	got, err := readU32(c.r)
+	if err != nil {
+		return fmt.Errorf("%s: reading checksum trailer: %w", what, err)
+	}
+	if got != want {
+		return fmt.Errorf("%s: checksum mismatch %08x != %08x (corrupt or truncated)", what, want, got)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Snapshot format: one file bundles every piece of run state that must stay
+// mutually consistent (trainer checkpoint, replay buffer, RNG/progress
+// state). Layout (little-endian):
+//
+//	magic "MSNP" | uint32 version | uint32 sectionCount |
+//	per section: uint32 kind | uint64 payloadLen | payload |
+//	             uint32 crc32(payload) |
+//	uint32 crc32 of every preceding byte (whole-file trailer)
+//
+// Per-section CRCs localize corruption to the damaged section in error
+// messages; the whole-file trailer catches truncation after the last
+// section and damage to the framing itself. CRC32 is IEEE, matching the
+// MARL/MARB trailers.
+
+const (
+	snapshotMagic   = "MSNP"
+	snapshotVersion = 1
+
+	// maxSectionLen bounds a single section (1 GiB) so a corrupt length
+	// field cannot drive a huge allocation before the CRC check.
+	maxSectionLen = 1 << 30
+	maxSections   = 1 << 10
+)
+
+// SectionKind identifies what a snapshot section holds.
+type SectionKind uint32
+
+// Section kinds bundled by the training runtime.
+const (
+	SectionTrainer  SectionKind = 1 // MARL core checkpoint
+	SectionReplay   SectionKind = 2 // MARB replay buffer
+	SectionRunState SectionKind = 3 // RNG seed + progress metadata
+)
+
+// String returns the kind's report name.
+func (k SectionKind) String() string {
+	switch k {
+	case SectionTrainer:
+		return "trainer"
+	case SectionReplay:
+		return "replay"
+	case SectionRunState:
+		return "run-state"
+	default:
+		return fmt.Sprintf("section(%d)", uint32(k))
+	}
+}
+
+// Section is one CRC-protected payload inside a snapshot.
+type Section struct {
+	Kind    SectionKind
+	Payload []byte
+}
+
+// Snapshot is a validated, fully decoded snapshot file.
+type Snapshot struct {
+	Sections []Section
+}
+
+// Section returns the payload of the first section of the given kind.
+func (s *Snapshot) Section(kind SectionKind) ([]byte, bool) {
+	for _, sec := range s.Sections {
+		if sec.Kind == kind {
+			return sec.Payload, true
+		}
+	}
+	return nil, false
+}
+
+// WriteSnapshot serializes the sections with per-section and whole-file
+// CRC32 trailers.
+func WriteSnapshot(w io.Writer, sections []Section) error {
+	cw := NewCRCWriter(w)
+	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
+		return err
+	}
+	if err := writeU32(cw, snapshotVersion); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(len(sections))); err != nil {
+		return err
+	}
+	for _, sec := range sections {
+		if err := writeU32(cw, uint32(sec.Kind)); err != nil {
+			return err
+		}
+		if err := writeU64(cw, uint64(len(sec.Payload))); err != nil {
+			return err
+		}
+		if _, err := cw.Write(sec.Payload); err != nil {
+			return err
+		}
+		if err := writeU32(cw, crc32.ChecksumIEEE(sec.Payload)); err != nil {
+			return err
+		}
+	}
+	return cw.WriteTrailer()
+}
+
+// ReadSnapshot decodes and validates a snapshot, rejecting truncated or
+// bit-flipped input with an error naming the damaged part.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	cr := NewCRCReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("resilience: reading snapshot magic: %w", err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return nil, fmt.Errorf("resilience: bad snapshot magic %q", magic)
+	}
+	version, err := readU32(cr)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading snapshot version: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("resilience: snapshot version %d, want %d", version, snapshotVersion)
+	}
+	count, err := readU32(cr)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading section count: %w", err)
+	}
+	if count > maxSections {
+		return nil, fmt.Errorf("resilience: implausible section count %d", count)
+	}
+	snap := &Snapshot{}
+	for i := uint32(0); i < count; i++ {
+		kind, err := readU32(cr)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: reading section %d kind: %w", i, err)
+		}
+		length, err := readU64(cr)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: reading section %d length: %w", i, err)
+		}
+		if length > maxSectionLen {
+			return nil, fmt.Errorf("resilience: section %d (%v) implausibly large: %d bytes", i, SectionKind(kind), length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			return nil, fmt.Errorf("resilience: section %d (%v) truncated: %w", i, SectionKind(kind), err)
+		}
+		sum, err := readU32(cr)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: reading section %d checksum: %w", i, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("resilience: section %d (%v) checksum mismatch: %08x != %08x",
+				i, SectionKind(kind), got, sum)
+		}
+		snap.Sections = append(snap.Sections, Section{Kind: SectionKind(kind), Payload: payload})
+	}
+	if err := cr.VerifyTrailer("resilience: snapshot"); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// --- encoding helpers ---
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	_, err := io.ReadFull(r, b[:])
+	return binary.LittleEndian.Uint32(b[:]), err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	_, err := io.ReadFull(r, b[:])
+	return binary.LittleEndian.Uint64(b[:]), err
+}

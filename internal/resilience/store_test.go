@@ -1,0 +1,263 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+}
+
+func newTestStore(t *testing.T, retain int) *Store {
+	t.Helper()
+	st, err := NewStore(t.TempDir(), retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Retry = fastRetry()
+	return st
+}
+
+func payloadFor(seq uint64) []Section {
+	return []Section{{Kind: SectionTrainer, Payload: bytes.Repeat([]byte{byte(seq)}, 128)}}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	st := newTestStore(t, 3)
+	if _, err := st.Save(7, payloadFor(7)); err != nil {
+		t.Fatal(err)
+	}
+	snap, seq, skipped, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || len(skipped) != 0 {
+		t.Fatalf("seq=%d skipped=%v", seq, skipped)
+	}
+	got, ok := snap.Section(SectionTrainer)
+	if !ok || !bytes.Equal(got, payloadFor(7)[0].Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestStoreRotationKeepsNewest(t *testing.T) {
+	st := newTestStore(t, 2)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := st.Save(seq, payloadFor(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("generations = %v, want [4 5]", gens)
+	}
+}
+
+func TestStoreEmptyDirReportsNoSnapshot(t *testing.T) {
+	st := newTestStore(t, 2)
+	if _, _, _, err := st.LoadLatest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreFallsBackPastCorruptNewest(t *testing.T) {
+	st := newTestStore(t, 3)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := st.Save(seq, payloadFor(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest truncated (torn write), second-newest bit-flipped (bit rot):
+	// recovery must land on generation 1.
+	fi, err := os.Stat(st.Path(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(st.Path(3), fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBitInFile(st.Path(2), 40, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	snap, seq, skipped, err := st.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || len(skipped) != 2 {
+		t.Fatalf("seq=%d skipped=%d, want 1 and 2", seq, len(skipped))
+	}
+	if skipped[0].Seq != 3 || skipped[1].Seq != 2 {
+		t.Fatalf("skipped order = %v", skipped)
+	}
+	if got, _ := snap.Section(SectionTrainer); !bytes.Equal(got, payloadFor(1)[0].Payload) {
+		t.Fatal("fell back to wrong payload")
+	}
+}
+
+func TestStoreAllCorruptReportsEveryGeneration(t *testing.T) {
+	st := newTestStore(t, 2)
+	for seq := uint64(1); seq <= 2; seq++ {
+		if _, err := st.Save(seq, payloadFor(seq)); err != nil {
+			t.Fatal(err)
+		}
+		if err := TruncateFile(st.Path(seq), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, skipped, err := st.LoadLatest()
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want both generations", skipped)
+	}
+}
+
+func TestStoreCrashPointsLeaveRecoverableState(t *testing.T) {
+	cases := []struct {
+		point     string
+		wantGen   uint64 // generation recovery should find after the crash
+		wantSaved bool   // whether the crashed Save's generation survives
+	}{
+		{CrashBeforeWrite, 1, false},
+		{CrashDuringWrite, 1, false},
+		{CrashBeforeRename, 1, false},
+		{CrashAfterRename, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			st := newTestStore(t, 3)
+			if _, err := st.Save(1, payloadFor(1)); err != nil {
+				t.Fatal(err)
+			}
+			st.Crash = &CrashPlan{}
+			st.Crash.Arm(tc.point, 1)
+			_, err := st.Save(2, payloadFor(2))
+			if !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("Save err = %v, want injected crash", err)
+			}
+			// "Restart": a fresh store over the same directory (clears stale
+			// temps) must recover the newest intact generation.
+			st2, err := NewStore(st.Dir(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, seq, _, err := st2.LoadLatest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != tc.wantGen {
+				t.Fatalf("recovered generation %d, want %d", seq, tc.wantGen)
+			}
+			want := payloadFor(tc.wantGen)[0].Payload
+			if got, _ := snap.Section(SectionTrainer); !bytes.Equal(got, want) {
+				t.Fatal("recovered payload mismatch")
+			}
+			if _, err := os.Stat(st.Path(2)); tc.wantSaved != (err == nil) {
+				t.Fatalf("generation 2 present=%v, want %v", err == nil, tc.wantSaved)
+			}
+			// No temp litter after restart.
+			temps, _ := filepath.Glob(filepath.Join(st.Dir(), "*.tmp-*"))
+			if len(temps) != 0 {
+				t.Fatalf("stale temps survived restart: %v", temps)
+			}
+			// And the next save over the same directory works.
+			if _, err := st2.Save(3, payloadFor(3)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadRetain(t *testing.T) {
+	if _, err := NewStore(t.TempDir(), 0); err == nil {
+		t.Fatal("retain 0 accepted")
+	}
+}
+
+func TestRetryBacksOffExponentially(t *testing.T) {
+	var delays []time.Duration
+	p := RetryPolicy{
+		Attempts:  4,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  25 * time.Millisecond,
+		Sleep:     func(d time.Duration) { delays = append(delays, d) },
+	}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 4 {
+			return ErrInjectedFault
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v", delays)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	retries := 0
+	p.OnRetry = func(int, error) { retries++ }
+	err := p.Do(func() error { calls++; return ErrInjectedFault })
+	if !errors.Is(err, ErrInjectedFault) || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+	}
+}
+
+func TestRetryDoesNotRetryInjectedCrash(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(func() error { calls++; return ErrInjectedCrash })
+	if !errors.Is(err, ErrInjectedCrash) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, crash must not be retried", err, calls)
+	}
+}
+
+func TestCrashPlanCountdown(t *testing.T) {
+	var plan *CrashPlan
+	if err := plan.Hit(CrashBeforeWrite); err != nil {
+		t.Fatal("nil plan must be inert")
+	}
+	plan = &CrashPlan{}
+	plan.Arm(CrashBeforeWrite, 3)
+	for i := 0; i < 2; i++ {
+		if err := plan.Hit(CrashBeforeWrite); err != nil {
+			t.Fatalf("hit %d fired early: %v", i+1, err)
+		}
+	}
+	if err := plan.Hit(CrashBeforeWrite); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("third hit = %v, want injected crash", err)
+	}
+	if err := plan.Hit(CrashBeforeWrite); err != nil {
+		t.Fatal("crash point must disarm after firing")
+	}
+
+	// An armed crash point on a countdown the run never reaches leaves
+	// saves untouched.
+	st := newTestStore(t, 2)
+	st.Crash = &CrashPlan{}
+	st.Crash.Arm(CrashBeforeWrite, 3)
+	if _, err := st.Save(1, payloadFor(1)); err != nil {
+		t.Fatal(err)
+	}
+}
