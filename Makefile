@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -19,6 +19,10 @@ race:
 # One testing.B benchmark per paper table/figure, plus substrate benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Worker-pool scaling sweep; writes the grid to BENCH_update.json.
+bench-workers:
+	$(GO) test -run '^$$' -bench UpdateWorkersSweep -benchtime 3x .
 
 examples:
 	$(GO) run ./examples/quickstart

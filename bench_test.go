@@ -7,7 +7,10 @@ package marlperf
 // paths under `go test -bench`.
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
 
 	"marlperf/internal/core"
@@ -74,6 +77,22 @@ func benchBuffer(b *testing.B, agents, fill int) (*replay.Buffer, []*replay.Agen
 		batches[a] = replay.NewAgentBatch(1024, spec.ObsDims[a], spec.ActDim)
 	}
 	return buf, batches, 1024
+}
+
+// seedPriorities gives every live transition a synthetic TD error. Priority
+// samplers learn of transitions through the buffer's Add listener, so one
+// built after benchBuffer's fill starts with an empty tree and would panic
+// on its first Sample.
+func seedPriorities(buf *replay.Buffer, ps ...replay.PrioritySampler) {
+	idx := buf.InsertionOrderInto(nil)
+	rng := rand.New(rand.NewSource(99))
+	td := make([]float64, len(idx))
+	for i := range td {
+		td[i] = rng.Float64()
+	}
+	for _, p := range ps {
+		p.UpdatePriorities(idx, td)
+	}
 }
 
 // BenchmarkTable1EndToEnd tracks Table I: one steady-state environment step
@@ -238,6 +257,7 @@ func BenchmarkFig11IPRewards(b *testing.B) {
 		{"ip-locality", replay.NewIPLocalitySampler(buf, 1)},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			seedPriorities(buf, v.sampler)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for trainer := 0; trainer < agents; trainer++ {
@@ -336,6 +356,7 @@ func BenchmarkAblationIPThresholds(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			s := replay.NewIPLocalitySampler(buf, 1)
 			s.Predictor = v.p
+			seedPriorities(buf, s)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sample := s.Sample(batch, rng)
@@ -380,6 +401,7 @@ func BenchmarkAblationRankPER(b *testing.B) {
 		{"rank-based", replay.NewRankPERSampler(buf)},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			seedPriorities(buf, v.sampler)
 			td := make([]float64, batch)
 			for i := range td {
 				td[i] = rng.Float64()
@@ -402,9 +424,141 @@ func BenchmarkAblationISBeta(b *testing.B) {
 	for _, beta := range []float64{0, 1} {
 		b.Run(benchName("beta", int(beta*10)), func(b *testing.B) {
 			s := replay.NewIPLocalitySampler(buf, beta)
+			seedPriorities(buf, s)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = s.Sample(batch, rng)
+			}
+		})
+	}
+}
+
+// --- Parallel update engine ---
+
+// updateSweepRow is one (agents, workers) cell of the sweep, written to
+// BENCH_update.json for machine consumption.
+type updateSweepRow struct {
+	Agents   int     `json:"agents"`
+	Workers  int     `json:"workers"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Iters    int     `json:"iters"`
+	SpeedupX float64 `json:"speedup_vs_serial"`
+}
+
+// BenchmarkUpdateWorkersSweep measures one full update-all-trainers stage
+// across worker-pool sizes and agent counts, and writes the grid to
+// BENCH_update.json. Every cell trains identically for a fixed seed — the
+// sweep varies throughput only.
+func BenchmarkUpdateWorkersSweep(b *testing.B) {
+	var rows []updateSweepRow
+	serialNs := map[int]float64{} // agents -> workers=1 ns/op
+	for _, agents := range []int{3, 6, 12, 24} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := benchName("agents", agents) + "/" + benchName("workers", workers)
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig(core.MADDPG)
+				cfg.BatchSize = 256
+				cfg.BufferCapacity = 8192
+				cfg.WarmupSize = 256
+				cfg.UpdateWorkers = workers
+				tr, err := core.NewTrainer(cfg, mpe.NewPredatorPrey(agents))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tr.Close()
+				tr.Warmup(512)
+				tr.UpdateAllTrainers() // warm per-worker scratch arenas
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.UpdateAllTrainers()
+				}
+				b.StopTimer()
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if workers == 1 {
+					serialNs[agents] = ns
+				}
+				speedup := 0.0
+				if base := serialNs[agents]; base > 0 && ns > 0 {
+					speedup = base / ns
+				}
+				rows = append(rows, updateSweepRow{
+					Agents: agents, Workers: workers,
+					NsPerOp: ns, Iters: b.N, SpeedupX: speedup,
+				})
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := struct {
+		Benchmark  string           `json:"benchmark"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Unit       string           `json:"unit"`
+		Results    []updateSweepRow `json:"results"`
+	}{"UpdateWorkersSweep", runtime.GOMAXPROCS(0), "ns/op", rows}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_update.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %d sweep rows to BENCH_update.json", len(rows))
+}
+
+// BenchmarkSampleIntoGather tracks the zero-allocation sampling hot path:
+// steady-state SampleInto + GatherAll must report 0 allocs/op for every
+// sampler strategy.
+func BenchmarkSampleIntoGather(b *testing.B) {
+	buf, batches, batch := benchBuffer(b, 6, 20000)
+	for _, v := range []struct {
+		name    string
+		sampler replay.Sampler
+	}{
+		{"uniform", replay.NewUniformSampler(buf)},
+		{"locality-n16r64", replay.NewLocalitySampler(buf, 16, 64)},
+		{"per", replay.NewPERSampler(buf)},
+		{"ip-locality", replay.NewIPLocalitySampler(buf, 1)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			if p, ok := v.sampler.(replay.PrioritySampler); ok {
+				seedPriorities(buf, p)
+			}
+			rng := rand.New(rand.NewSource(21))
+			var dst replay.Sample
+			v.sampler.SampleInto(&dst, batch, rng) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.sampler.SampleInto(&dst, batch, rng)
+				buf.GatherAll(dst.Indices, batches)
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateAllocs reports steady-state heap allocations of the full
+// update stage (sample + gather + forward/backward), serial vs pooled.
+func BenchmarkUpdateAllocs(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig(core.MADDPG)
+			cfg.BatchSize = 256
+			cfg.BufferCapacity = 8192
+			cfg.WarmupSize = 256
+			cfg.UpdateWorkers = workers
+			tr, err := core.NewTrainer(cfg, mpe.NewPredatorPrey(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			tr.Warmup(512)
+			tr.UpdateAllTrainers()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.UpdateAllTrainers()
 			}
 		})
 	}

@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (table1, fig2…fig14, ablation-*) or 'all'")
-		scale  = flag.String("scale", "small", "measurement scale: small or full")
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		format = flag.String("format", "text", "output format: text or md")
+		exp     = flag.String("exp", "", "experiment ID (table1, fig2…fig14, ablation-*) or 'all'")
+		scale   = flag.String("scale", "small", "measurement scale: small or full")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		format  = flag.String("format", "text", "output format: text or md")
+		workers = flag.Int("workers", 0, "update-stage worker pool size (0: keep the scale's serial default); results are seed-identical for any value")
 	)
 	flag.Parse()
 
@@ -48,6 +49,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or full)\n", *scale)
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		s.UpdateWorkers = *workers
 	}
 
 	var runners []*experiments.Runner

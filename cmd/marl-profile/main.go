@@ -29,6 +29,7 @@ func main() {
 		episodes = flag.Int("episodes", 4, "episodes per configuration")
 		batch    = flag.Int("batch", 512, "mini-batch size")
 		fill     = flag.Int("fill", 20000, "buffer fill for the counter trace")
+		workers  = flag.Int("workers", 1, "update-stage worker pool size (0: GOMAXPROCS); phase times are per-pool, results are seed-identical")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		cfg.BatchSize = *batch
 		cfg.BufferCapacity = 8 * *batch
 		cfg.WarmupSize = *batch
+		cfg.UpdateWorkers = *workers
 		tr, err := marlperf.NewTrainer(cfg, env)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -70,6 +72,7 @@ func main() {
 		fmt.Printf("%d episodes in %v\n", *episodes, time.Since(start).Round(time.Millisecond))
 		fmt.Print(tr.Profile().Report())
 		fmt.Println()
+		tr.Close()
 
 		// Simulated sampling-phase counters (perf substitute).
 		spec := replay.Spec{

@@ -53,6 +53,7 @@ func run() int {
 		batch     = flag.Int("batch", 1024, "mini-batch size")
 		buffer    = flag.Int("buffer", 100_000, "replay capacity")
 		kvLayout  = flag.Bool("kv", false, "enable key-value data-layout reorganization")
+		workers   = flag.Int("workers", 0, "update-stage worker pool size (0: GOMAXPROCS); any value is bit-identical for a fixed seed")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		logEvery  = flag.Int("log-every", 20, "episodes between progress lines")
 		savePath  = flag.String("save", "", "write a bare checkpoint here after training")
@@ -111,6 +112,7 @@ Flags:
 	cfg.BatchSize = *batch
 	cfg.BufferCapacity = *buffer
 	cfg.UseKVLayout = *kvLayout
+	cfg.UpdateWorkers = *workers
 	cfg.Seed = *seed
 	cfg.Neighbors = *neighbors
 	cfg.Refs = *refs
@@ -141,6 +143,7 @@ Flags:
 		fmt.Fprintln(os.Stderr, err)
 		return exitError
 	}
+	defer tr.Close()
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {

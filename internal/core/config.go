@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 )
 
 // Algorithm selects the MARL workload.
@@ -110,7 +111,23 @@ type Config struct {
 	// gathers.
 	UseKVLayout bool
 
+	// UpdateWorkers sizes the per-agent worker pool of the update stage.
+	// 0 (the default) resolves to runtime.GOMAXPROCS; 1 forces the serial
+	// path. Any value produces bit-identical training results for the same
+	// seed — each agent draws from its own RNG stream — so this is purely a
+	// throughput knob.
+	UpdateWorkers int
+
 	Seed int64
+}
+
+// ResolvedUpdateWorkers returns the effective worker-pool size:
+// UpdateWorkers when positive, otherwise runtime.GOMAXPROCS.
+func (c Config) ResolvedUpdateWorkers() int {
+	if c.UpdateWorkers > 0 {
+		return c.UpdateWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the paper's hyperparameters for the given workload.
@@ -169,6 +186,9 @@ func (c Config) Validate() error {
 	}
 	if c.GumbelTau <= 0 {
 		return fmt.Errorf("core: GumbelTau = %v, want >0", c.GumbelTau)
+	}
+	if c.UpdateWorkers < 0 {
+		return fmt.Errorf("core: UpdateWorkers = %d, want ≥0 (0 = GOMAXPROCS)", c.UpdateWorkers)
 	}
 	return nil
 }

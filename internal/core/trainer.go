@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"marlperf/internal/mpe"
 	"marlperf/internal/nn"
@@ -16,6 +17,12 @@ import (
 // replay storage, and the periodic "update all trainers" stage (mini-batch
 // sampling, target-Q calculation, Q-loss/P-loss backpropagation) whose
 // phases are individually timed.
+//
+// The update stage runs on a persistent per-agent worker pool sized by
+// Config.UpdateWorkers. Each agent's update draws from its own RNG stream
+// and writes only its own networks, so serial (UpdateWorkers=1) and
+// parallel runs are bit-identical for the same seed; see updateAgent for
+// the isolation invariants.
 type Trainer struct {
 	cfg Config
 	env mpe.Env
@@ -52,8 +59,39 @@ type Trainer struct {
 	obsOffsets []int
 	actOffsets []int
 
-	// Preallocated scratch reused across updates.
+	// Parallel update engine. Per-agent RNG streams keep sampling and
+	// target-noise draws independent of worker interleaving; per-worker
+	// scratch arenas keep the hot path allocation-free; per-agent pending
+	// slots batch TD-error feedback until after the join barrier.
+	updateWorkers int // resolved worker cap (≥1)
+	agentRNGs     []*rand.Rand
+	prioritized   bool // sampler implements PrioritySampler
+	scratch       []*updateScratch
+	workCh        chan int
+	updWG         sync.WaitGroup
+	updDelayed    bool // MATD3 policy-delay flag for the in-flight update
+	pendingIdx    [][]int
+	pendingTD     [][]float64
+	tdMeans       []float64
+
+	// Shared read-only and interaction scratch.
+	onesW       []float64
+	actionProbs [][]float64 // per-agent action vectors for the current step
+	actionIdx   []int
+	dones       []float64
+	obsRow      *tensor.Matrix
+}
+
+// updateScratch is one worker's private arena for the update stage: batch
+// tensors, joint-space assembly buffers, TD errors, a reusable sample, a
+// profiler shard, and shared-weight shadow clones of every agent's target
+// actor (the only networks every worker must forward — the N×(N-1)
+// cross-agent lookups of the CTDE target calculation).
+type updateScratch struct {
+	sample      replay.Sample
 	batches     []*replay.AgentBatch
+	targetProbs []*tensor.Matrix
+	tActors     []*nn.Network // shadows aliasing agents[j].targetActor weights
 	jointCur    *tensor.Matrix
 	jointNext   *tensor.Matrix
 	yTarget     *tensor.Matrix
@@ -61,11 +99,40 @@ type Trainer struct {
 	probsBuf    *tensor.Matrix
 	gradProbs   *tensor.Matrix
 	gradLogits  *tensor.Matrix
-	targetProbs []*tensor.Matrix
 	tdAbs       []float64
-	onesW       []float64
-	actionProbs [][]float64 // per-agent action vectors for the current step
-	actionIdx   []int
+	prof        profiler.Profile
+}
+
+func (t *Trainer) newUpdateScratch() *updateScratch {
+	b := t.cfg.BatchSize
+	s := &updateScratch{
+		batches:     make([]*replay.AgentBatch, t.n),
+		targetProbs: make([]*tensor.Matrix, t.n),
+		tActors:     make([]*nn.Network, t.n),
+		jointCur:    tensor.New(b, t.jointDim),
+		jointNext:   tensor.New(b, t.jointDim),
+		yTarget:     tensor.New(b, 1),
+		qGrad:       tensor.New(b, 1),
+		probsBuf:    tensor.New(b, t.actDim),
+		gradProbs:   tensor.New(b, t.actDim),
+		gradLogits:  tensor.New(b, t.actDim),
+		tdAbs:       make([]float64, b),
+	}
+	for i := 0; i < t.n; i++ {
+		s.batches[i] = replay.NewAgentBatch(b, t.obsDims[i], t.actDim)
+		s.targetProbs[i] = tensor.New(b, t.actDim)
+		s.tActors[i] = t.agents[i].targetActor.SharedClone()
+	}
+	return s
+}
+
+// agentStreamPrime spaces the per-agent RNG streams derived from the run
+// seed.
+const agentStreamPrime = 1_000_000_007
+
+// agentStreamSeed derives agent i's RNG stream seed from the run seed.
+func agentStreamSeed(seed int64, agent int) int64 {
+	return seed ^ int64(agent+1)*agentStreamPrime
 }
 
 // NewTrainer builds a trainer for cfg over env, constructing all agent
@@ -87,6 +154,7 @@ func NewTrainer(cfg Config, env mpe.Env) (*Trainer, error) {
 		cfg.WarmupSize = cfg.BatchSize
 		t.cfg.WarmupSize = cfg.BatchSize
 	}
+	t.updateWorkers = cfg.ResolvedUpdateWorkers()
 
 	// Joint critic input layout.
 	t.obsOffsets = make([]int, t.n)
@@ -104,6 +172,10 @@ func NewTrainer(cfg Config, env mpe.Env) (*Trainer, error) {
 
 	for i := 0; i < t.n; i++ {
 		t.agents = append(t.agents, newAgentNets(cfg, t.obsDims[i], t.actDim, t.jointDim, t.rng))
+	}
+	t.agentRNGs = make([]*rand.Rand, t.n)
+	for i := range t.agentRNGs {
+		t.agentRNGs[i] = rand.New(rand.NewSource(agentStreamSeed(cfg.Seed, i)))
 	}
 
 	spec := replay.Spec{
@@ -132,24 +204,15 @@ func NewTrainer(cfg Config, env mpe.Env) (*Trainer, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown sampler %v", cfg.Sampler)
 	}
+	_, t.prioritized = t.sampler.(replay.PrioritySampler)
 
-	// Scratch allocations.
-	b := cfg.BatchSize
-	t.batches = make([]*replay.AgentBatch, t.n)
-	t.targetProbs = make([]*tensor.Matrix, t.n)
-	for i := 0; i < t.n; i++ {
-		t.batches[i] = replay.NewAgentBatch(b, t.obsDims[i], t.actDim)
-		t.targetProbs[i] = tensor.New(b, t.actDim)
-	}
-	t.jointCur = tensor.New(b, t.jointDim)
-	t.jointNext = tensor.New(b, t.jointDim)
-	t.yTarget = tensor.New(b, 1)
-	t.qGrad = tensor.New(b, 1)
-	t.probsBuf = tensor.New(b, t.actDim)
-	t.gradProbs = tensor.New(b, t.actDim)
-	t.gradLogits = tensor.New(b, t.actDim)
-	t.tdAbs = make([]float64, b)
-	t.onesW = make([]float64, b)
+	// Per-agent pending slots for batched priority feedback and TD means.
+	t.pendingIdx = make([][]int, t.n)
+	t.pendingTD = make([][]float64, t.n)
+	t.tdMeans = make([]float64, t.n)
+
+	// Shared scratch.
+	t.onesW = make([]float64, cfg.BatchSize)
 	for i := range t.onesW {
 		t.onesW[i] = 1
 	}
@@ -158,6 +221,8 @@ func NewTrainer(cfg Config, env mpe.Env) (*Trainer, error) {
 		t.actionProbs[i] = make([]float64, t.actDim)
 	}
 	t.actionIdx = make([]int, t.n)
+	t.dones = make([]float64, t.n)
+	t.obsRow = tensor.New(1, 0) // shape rebound per agent in interact
 
 	t.obs = env.Reset(t.rng)
 	return t, nil
@@ -195,6 +260,20 @@ func (t *Trainer) LastEpisodeReward() float64 { return t.lastEpReward }
 // JointDim returns the centralized critic's input width.
 func (t *Trainer) JointDim() int { return t.jointDim }
 
+// UpdateWorkers returns the resolved worker-pool size (before the per-update
+// cap at the agent count).
+func (t *Trainer) UpdateWorkers() int { return t.updateWorkers }
+
+// Close shuts down the update worker pool. The trainer must not be updated
+// afterwards; Close is idempotent and safe on trainers that never went
+// parallel.
+func (t *Trainer) Close() {
+	if t.workCh != nil {
+		close(t.workCh)
+		t.workCh = nil
+	}
+}
+
 // Step advances the environment by one step (action selection, env
 // interaction, replay add) and runs update-all-trainers when due. It
 // returns true if an episode completed on this step.
@@ -222,7 +301,7 @@ func (t *Trainer) interact(timed bool) bool {
 	if timed {
 		t.prof.Start(profiler.PhaseActionSelection)
 	}
-	obsRow := tensor.New(1, 0) // shape fixed per agent below
+	obsRow := t.obsRow
 	for i := 0; i < t.n; i++ {
 		obsRow.Rows, obsRow.Cols, obsRow.Data = 1, t.obsDims[i], t.obs[i]
 		logits := t.agents[i].actor.Forward(obsRow)
@@ -265,15 +344,14 @@ func (t *Trainer) interact(timed bool) bool {
 	if episodeDone {
 		doneFlag = 1
 	}
-	dones := make([]float64, t.n)
-	for i := range dones {
-		dones[i] = doneFlag
+	for i := range t.dones {
+		t.dones[i] = doneFlag
 	}
 
 	if timed {
 		t.prof.Start(profiler.PhaseReplayAdd)
 	}
-	t.buf.Add(t.obs, t.actionProbs, rewards, nextObs, dones)
+	t.buf.Add(t.obs, t.actionProbs, rewards, nextObs, t.dones)
 	if timed {
 		t.prof.Stop(profiler.PhaseReplayAdd)
 	}
@@ -284,7 +362,7 @@ func (t *Trainer) interact(timed bool) bool {
 		if timed {
 			t.prof.Start(profiler.PhaseLayoutReorg)
 		}
-		t.kv.Add(t.obs, t.actionProbs, rewards, nextObs, dones)
+		t.kv.Add(t.obs, t.actionProbs, rewards, nextObs, t.dones)
 		if timed {
 			t.prof.Stop(profiler.PhaseLayoutReorg)
 		}
@@ -315,49 +393,96 @@ func (t *Trainer) RunEpisodes(n int, cb func(episode int, meanReward float64)) {
 	}
 }
 
+// ensureUpdateState lazily builds the per-worker scratch arenas and, when
+// more than one worker is in play, the persistent pool goroutines. The pool
+// size is fixed for the trainer's lifetime (agent count and config do not
+// change), so this settles after the first update.
+func (t *Trainer) ensureUpdateState(workers int) {
+	for len(t.scratch) < workers {
+		t.scratch = append(t.scratch, t.newUpdateScratch())
+	}
+	if workers > 1 && t.workCh == nil {
+		t.workCh = make(chan int)
+		for w := 0; w < workers; w++ {
+			go t.updateWorkerLoop(t.scratch[w])
+		}
+	}
+}
+
+// updateWorkerLoop is one pool goroutine: it owns scratch s for its entire
+// life and processes agent indices until the channel closes.
+func (t *Trainer) updateWorkerLoop(s *updateScratch) {
+	for i := range t.workCh {
+		t.updateAgent(s, i, t.updDelayed)
+		t.updWG.Done()
+	}
+}
+
 // UpdateAllTrainers runs the full update stage once: for every agent, the
 // mini-batch sampling, target-Q calculation and Q-loss/P-loss phases, then
-// the target-network soft updates. It panics if the buffer holds fewer than
-// BatchSize transitions.
+// the batched priority feedback and target-network soft updates. With
+// UpdateWorkers > 1 the per-agent updates run concurrently on the worker
+// pool; results are bit-identical to the serial path because every agent
+// draws from its own RNG stream, writes only its own networks, and all
+// cross-agent reads (target actors, replay storage, sum trees) are frozen
+// for the duration of the parallel window.
 func (t *Trainer) UpdateAllTrainers() {
 	if t.buf.Len() < 1 {
 		panic("core: update with empty replay buffer")
 	}
 	t.updateCount++
 
-	delayedStep := t.cfg.Algorithm == MATD3 && t.updateCount%t.cfg.PolicyDelay != 0
+	delayed := t.cfg.Algorithm == MATD3 && t.updateCount%t.cfg.PolicyDelay != 0
+	workers := t.updateWorkers
+	if workers > t.n {
+		workers = t.n
+	}
+	t.ensureUpdateState(workers)
 
-	for i := 0; i < t.n; i++ {
-		// ---- Mini-batch sampling phase ----
-		t.prof.Start(profiler.PhaseSampling)
-		sample := t.sampler.Sample(t.cfg.BatchSize, t.rng)
-		if t.cfg.UseKVLayout {
-			t.kv.GatherAll(sample.Indices, t.batches)
-		} else {
-			t.buf.GatherAll(sample.Indices, t.batches)
+	if workers <= 1 {
+		s := t.scratch[0]
+		for i := 0; i < t.n; i++ {
+			t.updateAgent(s, i, delayed)
 		}
-		t.prof.Stop(profiler.PhaseSampling)
+		s.prof.DrainInto(t.prof)
+	} else {
+		t.updDelayed = delayed
+		// Suspend nested row-parallelism inside the kernels: the cores are
+		// occupied one-matmul-per-agent, and row results are identical
+		// either way.
+		tensor.BeginCoarseParallel()
+		t.updWG.Add(t.n)
+		for i := 0; i < t.n; i++ {
+			t.workCh <- i
+		}
+		t.updWG.Wait()
+		tensor.EndCoarseParallel()
+		// Drain profiler shards in worker order so phase totals stay
+		// deterministic in structure (durations are wall-clock, counts are
+		// exact).
+		for _, s := range t.scratch[:workers] {
+			s.prof.DrainInto(t.prof)
+		}
+	}
 
-		// ---- Target-Q calculation phase ----
-		t.prof.Start(profiler.PhaseTargetQ)
-		t.computeTargets(i)
-		t.prof.Stop(profiler.PhaseTargetQ)
-
-		// ---- Q-loss / P-loss phase ----
-		t.prof.Start(profiler.PhaseQPLoss)
-		weights := sample.Weights
-		if weights == nil {
-			weights = t.onesW
+	// Batched priority feedback: every agent's TD errors were parked in its
+	// pending slot during the (possibly concurrent) update; apply them
+	// serially in agent order so the sum tree / rank order sees the same
+	// write sequence regardless of worker count.
+	if ps, ok := t.sampler.(replay.PrioritySampler); ok {
+		for i := 0; i < t.n; i++ {
+			if len(t.pendingIdx[i]) > 0 {
+				ps.UpdatePriorities(t.pendingIdx[i], t.pendingTD[i])
+			}
 		}
-		t.updateCritics(i, weights)
-		if !delayedStep {
-			t.updateActor(i)
-		}
-		t.prof.Stop(profiler.PhaseQPLoss)
-
-		if ps, ok := t.sampler.(replay.PrioritySampler); ok {
-			ps.UpdatePriorities(sample.Indices, t.tdAbs[:len(sample.Indices)])
-		}
+	}
+	var tdSum float64
+	for _, m := range t.tdMeans {
+		tdSum += m
+	}
+	t.lastTDMean = tdSum / float64(t.n)
+	if !delayed {
+		t.actorUpdCount += t.n
 	}
 	if sc, ok := t.sampler.(interface{ SanitizedCount() uint64 }); ok {
 		if n := sc.SanitizedCount(); n > t.sanitizedSeen {
@@ -366,7 +491,7 @@ func (t *Trainer) UpdateAllTrainers() {
 		}
 	}
 
-	if !delayedStep {
+	if !delayed {
 		t.prof.Start(profiler.PhaseQPLoss)
 		for _, ag := range t.agents {
 			ag.softUpdateTargets(t.cfg.Tau)
@@ -375,19 +500,67 @@ func (t *Trainer) UpdateAllTrainers() {
 	}
 }
 
-// computeTargets fills yTarget for agent i: every agent's target actor maps
-// its next observation to target action probabilities (with MATD3 target
-// policy smoothing), the joint next state-action is assembled, and the
-// target critic(s) produce y = r + γ(1-done)·Q'. This is the N×(N-1)
-// cross-agent policy lookup structure the paper describes.
-func (t *Trainer) computeTargets(i int) {
+// updateAgent runs one agent's full update on worker scratch s. Isolation
+// invariants that make concurrent calls (distinct s, distinct i) safe and
+// deterministic:
+//   - RNG draws (sampling, MATD3 target noise) come from agentRNGs[i] only.
+//   - Writes touch only agent i's own networks/optimizers and s.
+//   - Cross-agent target-actor forwards go through s.tActors shadows, which
+//     alias weights (frozen until the post-join soft updates) but own their
+//     forward scratch.
+//   - Replay reads (SampleInto, GatherAll, sum-tree lookups) are concurrent
+//     reads; priority writes are parked in pendingIdx/pendingTD[i] and
+//     applied after the join.
+func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
+	// ---- Mini-batch sampling phase ----
+	s.prof.Start(profiler.PhaseSampling)
+	t.sampler.SampleInto(&s.sample, t.cfg.BatchSize, t.agentRNGs[i])
+	if t.cfg.UseKVLayout {
+		t.kv.GatherAll(s.sample.Indices, s.batches)
+	} else {
+		t.buf.GatherAll(s.sample.Indices, s.batches)
+	}
+	s.prof.Stop(profiler.PhaseSampling)
+
+	// ---- Target-Q calculation phase ----
+	s.prof.Start(profiler.PhaseTargetQ)
+	t.computeTargets(s, i)
+	s.prof.Stop(profiler.PhaseTargetQ)
+
+	// ---- Q-loss / P-loss phase ----
+	s.prof.Start(profiler.PhaseQPLoss)
+	weights := s.sample.Weights
+	if len(weights) == 0 {
+		weights = t.onesW
+	}
+	t.updateCritics(s, i, weights)
+	if !delayed {
+		t.updateActor(s, i)
+	}
+	s.prof.Stop(profiler.PhaseQPLoss)
+
+	if t.prioritized {
+		m := len(s.sample.Indices)
+		t.pendingIdx[i] = append(t.pendingIdx[i][:0], s.sample.Indices...)
+		t.pendingTD[i] = append(t.pendingTD[i][:0], s.tdAbs[:m]...)
+	}
+}
+
+// computeTargets fills s.yTarget for agent i: every agent's target actor
+// (through this worker's shadows) maps its next observation to target action
+// probabilities (with MATD3 target policy smoothing from agent i's RNG
+// stream), the joint next state-action is assembled, and the target
+// critic(s) produce y = r + γ(1-done)·Q'. This is the N×(N-1) cross-agent
+// policy lookup structure the paper describes.
+func (t *Trainer) computeTargets(s *updateScratch, i int) {
 	b := t.cfg.BatchSize
+	rng := t.agentRNGs[i]
 	for j := 0; j < t.n; j++ {
-		logits := t.agents[j].targetActor.Forward(t.batches[j].NextObs)
+		logits := s.tActors[j].Forward(s.batches[j].NextObs)
 		if t.cfg.Algorithm == MATD3 && t.cfg.TargetNoiseStd > 0 {
 			// Target policy smoothing: clipped Gaussian noise on logits.
 			for k := range logits.Data {
-				noise := t.rng.NormFloat64() * t.cfg.TargetNoiseStd
+				noise := rng.NormFloat64() * t.cfg.TargetNoiseStd
 				if noise > t.cfg.TargetNoiseClip {
 					noise = t.cfg.TargetNoiseClip
 				} else if noise < -t.cfg.TargetNoiseClip {
@@ -396,16 +569,16 @@ func (t *Trainer) computeTargets(i int) {
 				logits.Data[k] += noise
 			}
 		}
-		nn.SoftmaxRows(t.targetProbs[j], logits)
+		nn.SoftmaxRows(s.targetProbs[j], logits)
 	}
 	for j := 0; j < t.n; j++ {
-		tensor.SetCols(t.jointNext, t.batches[j].NextObs, t.obsOffsets[j])
-		tensor.SetCols(t.jointNext, t.targetProbs[j], t.actOffsets[j])
+		tensor.SetCols(s.jointNext, s.batches[j].NextObs, t.obsOffsets[j])
+		tensor.SetCols(s.jointNext, s.targetProbs[j], t.actOffsets[j])
 	}
-	q1 := t.agents[i].targetCritic1.Forward(t.jointNext)
+	q1 := t.agents[i].targetCritic1.Forward(s.jointNext)
 	qNext := q1
 	if t.agents[i].targetCritic2 != nil {
-		q2 := t.agents[i].targetCritic2.Forward(t.jointNext)
+		q2 := t.agents[i].targetCritic2.Forward(s.jointNext)
 		// Twin target: elementwise min counters over-estimation bias.
 		for k := range q1.Data {
 			if q2.Data[k] < q1.Data[k] {
@@ -413,40 +586,40 @@ func (t *Trainer) computeTargets(i int) {
 			}
 		}
 	}
-	rew := t.batches[i].Rew
-	done := t.batches[i].Done
+	rew := s.batches[i].Rew
+	done := s.batches[i].Done
 	for k := 0; k < b; k++ {
-		t.yTarget.Data[k] = rew.Data[k] + t.cfg.Gamma*(1-done.Data[k])*qNext.Data[k]
+		s.yTarget.Data[k] = rew.Data[k] + t.cfg.Gamma*(1-done.Data[k])*qNext.Data[k]
 	}
 }
 
 // updateCritics assembles the joint current state-action from the sampled
 // batch and applies one weighted-MSE Adam step to each critic of agent i,
 // recording absolute TD errors for prioritized samplers.
-func (t *Trainer) updateCritics(i int, weights []float64) {
+func (t *Trainer) updateCritics(s *updateScratch, i int, weights []float64) {
 	for j := 0; j < t.n; j++ {
-		tensor.SetCols(t.jointCur, t.batches[j].Obs, t.obsOffsets[j])
-		tensor.SetCols(t.jointCur, t.batches[j].Act, t.actOffsets[j])
+		tensor.SetCols(s.jointCur, s.batches[j].Obs, t.obsOffsets[j])
+		tensor.SetCols(s.jointCur, s.batches[j].Act, t.actOffsets[j])
 	}
 	ag := t.agents[i]
 
-	q := ag.critic1.Forward(t.jointCur)
-	nn.WeightedMSELoss(t.qGrad, q, t.yTarget, weights, t.tdAbs)
+	q := ag.critic1.Forward(s.jointCur)
+	nn.WeightedMSELoss(s.qGrad, q, s.yTarget, weights, s.tdAbs)
 	var tdSum float64
-	for _, v := range t.tdAbs {
+	for _, v := range s.tdAbs {
 		tdSum += v
 	}
-	t.lastTDMean = tdSum / float64(len(t.tdAbs))
+	t.tdMeans[i] = tdSum / float64(len(s.tdAbs))
 	ag.critic1.ZeroGrads()
-	ag.critic1.Backward(t.qGrad)
+	ag.critic1.Backward(s.qGrad)
 	ag.critic1.ClipGradients(t.cfg.ClipNorm)
 	ag.critic1Opt.Step()
 
 	if ag.critic2 != nil {
-		q2 := ag.critic2.Forward(t.jointCur)
-		nn.WeightedMSELoss(t.qGrad, q2, t.yTarget, weights, nil)
+		q2 := ag.critic2.Forward(s.jointCur)
+		nn.WeightedMSELoss(s.qGrad, q2, s.yTarget, weights, nil)
 		ag.critic2.ZeroGrads()
-		ag.critic2.Backward(t.qGrad)
+		ag.critic2.Backward(s.qGrad)
 		ag.critic2.ClipGradients(t.cfg.ClipNorm)
 		ag.critic2Opt.Step()
 	}
@@ -456,32 +629,31 @@ func (t *Trainer) updateCritics(i int, weights []float64) {
 // actor's softmax action replaces its buffer action in the joint input,
 // the critic scores it, and -mean(Q) (plus the reference implementation's
 // 1e-3 logit regularizer) is minimized through the critic into the actor.
-func (t *Trainer) updateActor(i int) {
+func (t *Trainer) updateActor(s *updateScratch, i int) {
 	ag := t.agents[i]
 	b := t.cfg.BatchSize
 
-	logits := ag.actor.Forward(t.batches[i].Obs)
-	nn.SoftmaxRows(t.probsBuf, logits)
-	tensor.SetCols(t.jointCur, t.probsBuf, t.actOffsets[i])
+	logits := ag.actor.Forward(s.batches[i].Obs)
+	nn.SoftmaxRows(s.probsBuf, logits)
+	tensor.SetCols(s.jointCur, s.probsBuf, t.actOffsets[i])
 
-	ag.critic1.Forward(t.jointCur)
+	ag.critic1.Forward(s.jointCur)
 	// dPLoss/dQ = -1/B for pLoss = -mean(Q).
-	t.qGrad.Fill(-1 / float64(b))
+	s.qGrad.Fill(-1 / float64(b))
 	ag.critic1.ZeroGrads()
-	gradIn := ag.critic1.Backward(t.qGrad)
-	tensor.SliceCols(t.gradProbs, gradIn, t.actOffsets[i], t.actOffsets[i]+t.actDim)
-	nn.SoftmaxBackwardRows(t.gradLogits, t.probsBuf, t.gradProbs)
+	gradIn := ag.critic1.Backward(s.qGrad)
+	tensor.SliceCols(s.gradProbs, gradIn, t.actOffsets[i], t.actOffsets[i]+t.actDim)
+	nn.SoftmaxBackwardRows(s.gradLogits, s.probsBuf, s.gradProbs)
 	// Logit regularizer: +1e-3 · mean(logits²).
 	regScale := 1e-3 * 2 / float64(len(logits.Data))
-	for k := range t.gradLogits.Data {
-		t.gradLogits.Data[k] += regScale * logits.Data[k]
+	for k := range s.gradLogits.Data {
+		s.gradLogits.Data[k] += regScale * logits.Data[k]
 	}
 	ag.actor.ZeroGrads()
-	ag.actor.Backward(t.gradLogits)
+	ag.actor.Backward(s.gradLogits)
 	ag.actor.ClipGradients(t.cfg.ClipNorm)
 	ag.actorOpt.Step()
 	// The critic's parameter gradients from this pass are discarded; clear
 	// them so nothing leaks into the next critic step.
 	ag.critic1.ZeroGrads()
-	t.actorUpdCount++
 }

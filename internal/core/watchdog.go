@@ -45,10 +45,15 @@ func (t *Trainer) Healthy() error {
 // LastTDMean returns the mean |TD error| of the most recent critic update.
 func (t *Trainer) LastTDMean() float64 { return t.lastTDMean }
 
-// ReseedRNG replaces the trainer's RNG stream. The watchdog uses this after
-// a rollback so a divergence caused by an unlucky noise draw is not
-// replayed deterministically.
-func (t *Trainer) ReseedRNG(seed int64) { t.rng.Seed(seed) }
+// ReseedRNG replaces the trainer's RNG stream and the derived per-agent
+// update streams. The watchdog uses this after a rollback so a divergence
+// caused by an unlucky noise draw is not replayed deterministically.
+func (t *Trainer) ReseedRNG(seed int64) {
+	t.rng.Seed(seed)
+	for i, rng := range t.agentRNGs {
+		rng.Seed(agentStreamSeed(seed, i))
+	}
+}
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 

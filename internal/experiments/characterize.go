@@ -94,6 +94,7 @@ func runCharacterization(algo core.Algorithm, kind envKind, agents int, scale Sc
 	fillSynthetic(tr.Buffer(), cfg.BufferCapacity, rand.New(rand.NewSource(cfg.Seed)))
 	start := time.Now()
 	tr.RunEpisodes(scale.CharEpisodes, nil)
+	tr.Close()
 	out := &charOutcome{
 		agents:   agents,
 		episodes: scale.CharEpisodes,

@@ -38,6 +38,11 @@ type Scale struct {
 	RewardBatch    int
 	RewardWindow   int // smoothing window for reward series
 	E2EEpisodes    int // episodes for end-to-end reduction runs
+
+	// UpdateWorkers sizes the trainer's update-stage worker pool. The
+	// characterization figures measure the serial pipeline of §III, so both
+	// built-in scales keep it at 1; results are seed-identical either way.
+	UpdateWorkers int
 }
 
 // SmallScale keeps the whole suite quick enough for go test benchmarks.
@@ -56,6 +61,7 @@ func SmallScale() Scale {
 		RewardBatch:    64,
 		RewardWindow:   8,
 		E2EEpisodes:    8,
+		UpdateWorkers:  1,
 	}
 }
 
@@ -75,6 +81,7 @@ func FullScale() Scale {
 		RewardBatch:    256,
 		RewardWindow:   20,
 		E2EEpisodes:    10,
+		UpdateWorkers:  1,
 	}
 }
 
@@ -291,6 +298,7 @@ func charConfig(algo core.Algorithm, scale Scale, spec replay.Spec) core.Config 
 	cfg.BatchSize = scale.CharBatch
 	cfg.BufferCapacity = maxInt(cappedFill(spec, scale.BufferFill), 4*scale.CharBatch)
 	cfg.WarmupSize = scale.CharBatch
+	cfg.UpdateWorkers = scale.UpdateWorkers
 	return cfg
 }
 

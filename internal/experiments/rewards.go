@@ -35,11 +35,13 @@ func rewardCurve(kind envKind, agents int, scale Scale, variant rewardVariant, s
 	cfg.WarmupSize = scale.RewardBatch
 	cfg.BufferCapacity = maxInt(8*scale.RewardBatch, 4096)
 	cfg.Seed = seed
+	cfg.UpdateWorkers = scale.UpdateWorkers
 	cfg = variant.cfg(cfg)
 	tr, err := core.NewTrainer(cfg, newEnv(kind, agents))
 	if err != nil {
 		panic(err)
 	}
+	defer tr.Close()
 	window := scale.RewardWindow
 	var acc float64
 	count := 0

@@ -184,6 +184,7 @@ func runFig9(scale Scale) *Result {
 				if err != nil {
 					panic(err)
 				}
+				defer tr.Close()
 				// Steady-state buffer occupancy so the sampling phase works
 				// against a realistic footprint.
 				fillSynthetic(tr.Buffer(), cfg.BufferCapacity, rand.New(rand.NewSource(cfg.Seed)))

@@ -20,6 +20,11 @@ type Layer interface {
 	Backward(grad *tensor.Matrix) *tensor.Matrix
 	Params() []*tensor.Matrix
 	Grads() []*tensor.Matrix
+	// SharedClone returns a layer that aliases this layer's parameter
+	// tensors but owns private gradient and scratch storage, so the clone
+	// can run Forward/Backward concurrently with the original as long as
+	// neither mutates the shared weights during the overlap.
+	SharedClone() Layer
 }
 
 // Dense is a fully connected layer computing y = x·W + b.
@@ -30,9 +35,11 @@ type Dense struct {
 	gradW *tensor.Matrix
 	gradB *tensor.Matrix
 
-	lastX  *tensor.Matrix // retained input for backward
-	out    *tensor.Matrix // forward scratch, resized per batch
-	gradIn *tensor.Matrix // backward scratch, resized per batch
+	lastX      *tensor.Matrix // retained input for backward
+	out        *tensor.Matrix // forward scratch, resized per batch
+	gradIn     *tensor.Matrix // backward scratch, resized per batch
+	gwScratch  *tensor.Matrix // backward scratch for xᵀ·grad
+	sumScratch []float64      // backward scratch for column sums
 }
 
 // NewDense returns a Dense layer with Xavier-initialized weights and zero
@@ -77,12 +84,14 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: Dense backward grad %dx%d, want %dx%d", grad.Rows, grad.Cols, d.lastX.Rows, d.W.Cols))
 	}
 	// gradW += xᵀ·grad  (accumulated; ZeroGrads clears between steps)
-	gw := tensor.New(d.W.Rows, d.W.Cols)
-	tensor.MatMulTransAParallel(gw, d.lastX, grad)
-	tensor.Add(d.gradW, d.gradW, gw)
+	if d.gwScratch == nil {
+		d.gwScratch = tensor.New(d.W.Rows, d.W.Cols)
+	}
+	tensor.MatMulTransAParallel(d.gwScratch, d.lastX, grad)
+	tensor.Add(d.gradW, d.gradW, d.gwScratch)
 	// gradB += column sums of grad
-	sums := grad.SumRows(nil)
-	tensor.AXPY(d.gradB.Data, 1, sums)
+	d.sumScratch = grad.SumRows(d.sumScratch)
+	tensor.AXPY(d.gradB.Data, 1, d.sumScratch)
 	// gradIn = grad·Wᵀ
 	if d.gradIn == nil || d.gradIn.Rows != grad.Rows {
 		d.gradIn = tensor.New(grad.Rows, d.W.Rows)
@@ -96,6 +105,18 @@ func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
 
 // Grads returns the gradient tensors matching Params.
 func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.gradW, d.gradB} }
+
+// SharedClone implements Layer: the clone aliases W and B (in-place weight
+// updates like CopyFrom/SoftUpdate stay visible to it) while gradients and
+// forward/backward scratch are private.
+func (d *Dense) SharedClone() Layer {
+	return &Dense{
+		W:     d.W,
+		B:     d.B,
+		gradW: tensor.New(d.W.Rows, d.W.Cols),
+		gradB: tensor.New(1, d.W.Cols),
+	}
+}
 
 // ReLU is the rectified-linear activation layer.
 type ReLU struct {
@@ -151,3 +172,7 @@ func (r *ReLU) Params() []*tensor.Matrix { return nil }
 
 // Grads returns nil; ReLU has no trainable parameters.
 func (r *ReLU) Grads() []*tensor.Matrix { return nil }
+
+// SharedClone implements Layer; ReLU has no parameters, so the clone is a
+// fresh layer with its own mask and scratch.
+func (r *ReLU) SharedClone() Layer { return NewReLU() }

@@ -11,6 +11,12 @@ import (
 // are two-hidden-layer ReLU MLPs with 64 units per layer.
 type Network struct {
 	Layers []Layer
+
+	// params/grads cache the flattened tensor lists so hot-path callers
+	// (ZeroGrads, ClipGradients, optimizer steps) do not allocate a slice
+	// per call. Built lazily on first use; Layers must not change after.
+	params []*tensor.Matrix
+	grads  []*tensor.Matrix
 }
 
 // NewMLP builds a dense network with the given layer widths, inserting a
@@ -49,22 +55,40 @@ func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	return grad
 }
 
-// Params returns all trainable tensors in layer order.
+// Params returns all trainable tensors in layer order. The slice is cached
+// across calls; callers must not append to or reorder it.
 func (n *Network) Params() []*tensor.Matrix {
-	var ps []*tensor.Matrix
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
-// Grads returns all gradient tensors in the same order as Params.
+// Grads returns all gradient tensors in the same order as Params. The slice
+// is cached across calls; callers must not append to or reorder it.
 func (n *Network) Grads() []*tensor.Matrix {
-	var gs []*tensor.Matrix
-	for _, l := range n.Layers {
-		gs = append(gs, l.Grads()...)
+	if n.grads == nil {
+		for _, l := range n.Layers {
+			n.grads = append(n.grads, l.Grads()...)
+		}
 	}
-	return gs
+	return n.grads
+}
+
+// SharedClone returns a network whose layers alias this network's parameter
+// tensors but own private gradient and scratch storage. A clone can run
+// Forward concurrently with the original (and with other clones) as long as
+// the shared weights are not written during the overlap — the parallel
+// update engine uses clones as read-only shadows of the target actors, whose
+// weights only move in the post-join soft updates.
+func (n *Network) SharedClone() *Network {
+	c := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = l.SharedClone()
+	}
+	return c
 }
 
 // ZeroGrads clears all accumulated gradients.

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"marlperf/internal/tensor"
+)
+
+// TestSharedCloneForwardMatches verifies a clone computes the same forward
+// pass as the original and tracks in-place weight updates.
+func TestSharedCloneForwardMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewMLP(rng, 6, 8, 4)
+	clone := net.SharedClone()
+
+	x := tensor.New(5, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := net.Forward(x)
+	got := clone.Forward(x)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("clone forward[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// An in-place weight update (the trainer's soft-update/checkpoint-restore
+	// pattern) must be visible through the clone.
+	other := NewMLP(rand.New(rand.NewSource(9)), 6, 8, 4)
+	HardCopy(net, other)
+	want = net.Forward(x)
+	got = clone.Forward(x)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("after HardCopy, clone forward[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestSharedCloneConcurrentForward hammers one network's clones from many
+// goroutines; under -race this proves the clones share no mutable scratch.
+func TestSharedCloneConcurrentForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewMLP(rng, 6, 16, 4)
+	x := tensor.New(8, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := net.Forward(x)
+	ref := append([]float64(nil), want.Data...)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := net.SharedClone()
+			for r := 0; r < 50; r++ {
+				out := clone.Forward(x)
+				for i := range ref {
+					if out.Data[i] != ref[i] {
+						t.Errorf("concurrent clone forward[%d] = %v, want %v", i, out.Data[i], ref[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSharedCloneGradsArePrivate ensures backward through a clone leaves the
+// original's gradients untouched.
+func TestSharedCloneGradsArePrivate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewMLP(rng, 4, 6, 2)
+	clone := net.SharedClone()
+
+	x := tensor.New(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	out := clone.Forward(x)
+	grad := tensor.New(out.Rows, out.Cols)
+	grad.Fill(1)
+	clone.Backward(grad)
+
+	for gi, g := range net.Grads() {
+		for i, v := range g.Data {
+			if v != 0 {
+				t.Fatalf("original grad %d[%d] = %v after clone backward, want 0", gi, i, v)
+			}
+		}
+	}
+	var nonZero bool
+	for _, g := range clone.Grads() {
+		for _, v := range g.Data {
+			if v != 0 {
+				nonZero = true
+			}
+		}
+	}
+	if !nonZero {
+		t.Fatal("clone accumulated no gradients")
+	}
+}

@@ -187,6 +187,23 @@ func (pr *Profile) Merge(other *Profile) {
 	}
 }
 
+// DrainInto merges pr into dst and resets pr, keeping pr's allocated event
+// map for reuse. The parallel update engine gives each worker a private
+// Profile shard (Start/Stop stay single-threaded within a worker) and drains
+// the shards into the main profile after the join barrier, in worker order,
+// so phase totals are race-free and deterministic.
+func (pr *Profile) DrainInto(dst *Profile) {
+	dst.Merge(pr)
+	for i := range pr.durations {
+		pr.durations[i] = 0
+		pr.counts[i] = 0
+		pr.running[i] = false
+	}
+	for name := range pr.events {
+		delete(pr.events, name)
+	}
+}
+
 // Report renders a human-readable per-phase table.
 func (pr *Profile) Report() string {
 	var b strings.Builder

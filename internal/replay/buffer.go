@@ -244,15 +244,26 @@ func (b *Buffer) GatherAll(indices []int, dst []*AgentBatch) {
 // restore that re-Adds in this order reproduces the original recency layout
 // (which the locality samplers' neighbor runs depend on).
 func (b *Buffer) InsertionOrder() []int {
-	out := make([]int, b.length)
+	return b.InsertionOrderInto(nil)
+}
+
+// InsertionOrderInto is the allocation-reusing form of InsertionOrder: it
+// fills dst (growing it only when capacity falls short) and returns the
+// resulting slice. Callers polling the order repeatedly pass the previous
+// result back in to avoid churn.
+func (b *Buffer) InsertionOrderInto(dst []int) []int {
+	if cap(dst) < b.length {
+		dst = make([]int, b.length)
+	}
+	dst = dst[:b.length]
 	start := 0
 	if b.length == b.spec.Capacity {
 		start = b.next
 	}
-	for i := range out {
-		out[i] = (start + i) % b.spec.Capacity
+	for i := range dst {
+		dst[i] = (start + i) % b.spec.Capacity
 	}
-	return out
+	return dst
 }
 
 // CopyTransition copies slot idx into the supplied per-agent rows, each

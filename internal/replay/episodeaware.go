@@ -38,23 +38,30 @@ func (s *EpisodeAwareLocalitySampler) Name() string {
 // contiguous runs that stop after a done flag (agent 0's flag; all agents
 // share episode boundaries in the CTDE loop).
 func (s *EpisodeAwareLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler.
+func (s *EpisodeAwareLocalitySampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
 	length := s.buf.Len()
 	if length == 0 {
 		panic("replay: sampling from empty buffer")
 	}
 	done := s.buf.done[0]
-	idx := make([]int, 0, n)
-	var refs []int
-	for len(idx) < n {
+	dst.Reset(n)
+	// Worst case every run truncates after one slot, so Refs may need n
+	// entries.
+	dst.growRefs(n)
+	for len(dst.Indices) < n {
 		ref := rng.Intn(length)
-		refs = append(refs, ref)
+		dst.Refs = append(dst.Refs, ref)
 		run := s.Neighbors
-		if rem := n - len(idx); run > rem {
+		if rem := n - len(dst.Indices); run > rem {
 			run = rem
 		}
 		for k := 0; k < run; k++ {
 			pos := (ref + k) % length
-			idx = append(idx, pos)
+			dst.Indices = append(dst.Indices, pos)
 			// A done flag ends the episode at pos; the next physical slot
 			// belongs to a different episode, so stop the run here.
 			if done[pos] != 0 {
@@ -62,5 +69,4 @@ func (s *EpisodeAwareLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
 			}
 		}
 	}
-	return Sample{Indices: idx, Refs: refs}
 }

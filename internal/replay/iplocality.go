@@ -63,6 +63,13 @@ func (s *IPLocalitySampler) Name() string { return "ip-locality" }
 // expansion, Lemma-1 weights. Exactly n indices are returned; the last run
 // is truncated if needed.
 func (s *IPLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler. Like the PER core it only reads the sum
+// tree, so concurrent calls with distinct dst/rng are safe while priority
+// updates are deferred.
+func (s *IPLocalitySampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
 	buf := s.per.buf
 	length := buf.Len()
 	if length == 0 {
@@ -72,19 +79,19 @@ func (s *IPLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
 	if total <= 0 {
 		panic("replay: IP sampler has zero total priority")
 	}
-	idx := make([]int, 0, n)
-	weights := make([]float64, 0, n)
-	var refs []int
+	dst.Reset(n)
+	dst.growWeights(n)
+	dst.growRefs(n)
 	flen := float64(length)
 	maxW := 0.0
-	for len(idx) < n {
+	for len(dst.Indices) < n {
 		ref := s.per.tree.Find(rng.Float64() * total)
 		if ref >= length {
 			ref = rng.Intn(length)
 		}
-		refs = append(refs, ref)
+		dst.Refs = append(dst.Refs, ref)
 		run := s.Predictor.Predict(s.per.NormalizedPriority(ref))
-		if rem := n - len(idx); run > rem {
+		if rem := n - len(dst.Indices); run > rem {
 			run = rem
 		}
 		// Lemma 1: the inclusion probability of the run is driven by the
@@ -99,16 +106,15 @@ func (s *IPLocalitySampler) Sample(n int, rng *rand.Rand) Sample {
 			maxW = w
 		}
 		for k := 0; k < run; k++ {
-			idx = append(idx, (ref+k)%length)
-			weights = append(weights, w)
+			dst.Indices = append(dst.Indices, (ref+k)%length)
+			dst.Weights = append(dst.Weights, w)
 		}
 	}
 	if maxW > 0 {
-		for i := range weights {
-			weights[i] /= maxW
+		for i := range dst.Weights {
+			dst.Weights[i] /= maxW
 		}
 	}
-	return Sample{Indices: idx, Weights: weights, Refs: refs}
 }
 
 // UpdatePriorities implements PrioritySampler, feeding TD errors back into

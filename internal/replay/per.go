@@ -65,6 +65,12 @@ func (s *PERSampler) onAdd(idx int) {
 // Sample implements Sampler: stratified proportional sampling with
 // importance weights.
 func (s *PERSampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler. It only reads the sum tree, so concurrent
+// calls with distinct dst/rng are safe while priority updates are deferred.
+func (s *PERSampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
 	if s.buf.Len() == 0 {
 		panic("replay: sampling from empty buffer")
 	}
@@ -72,8 +78,8 @@ func (s *PERSampler) Sample(n int, rng *rand.Rand) Sample {
 	if total <= 0 {
 		panic("replay: PER tree has zero total priority")
 	}
-	idx := make([]int, n)
-	weights := make([]float64, n)
+	dst.Reset(n)
+	dst.growWeights(n)
 	segment := total / float64(n)
 	length := float64(s.buf.Len())
 	maxW := 0.0
@@ -83,23 +89,22 @@ func (s *PERSampler) Sample(n int, rng *rand.Rand) Sample {
 		if leaf >= s.buf.Len() {
 			leaf = rng.Intn(s.buf.Len())
 		}
-		idx[i] = leaf
+		dst.Indices = append(dst.Indices, leaf)
 		prob := s.tree.Get(leaf) / total
 		if prob <= 0 {
 			prob = 1 / length
 		}
 		w := math.Pow(1/(length*prob), s.Beta)
-		weights[i] = w
+		dst.Weights = append(dst.Weights, w)
 		if w > maxW {
 			maxW = w
 		}
 	}
 	if maxW > 0 {
-		for i := range weights {
-			weights[i] /= maxW
+		for i := range dst.Weights {
+			dst.Weights[i] /= maxW
 		}
 	}
-	return Sample{Indices: idx, Weights: weights}
 }
 
 // UpdatePriorities implements PrioritySampler. Non-finite and negative TD

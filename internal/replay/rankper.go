@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // RankPERSampler implements the rank-based variant of prioritized
@@ -19,6 +20,13 @@ import (
 type RankPERSampler struct {
 	buf  *Buffer
 	Beta float64 // importance-weight compensation
+
+	// mu serializes the lazy rebuild: SampleInto may be called from
+	// several update workers at once, and the first caller after an
+	// UpdatePriorities re-sorts order/cum in place. The rebuild is
+	// deterministic (stable sort over priorities), so whichever worker
+	// wins produces the same order and the rest sample read-only.
+	mu sync.Mutex
 
 	priorities []float64
 	order      []int     // slot indices sorted by priority, descending
@@ -69,16 +77,23 @@ func (s *RankPERSampler) rebuild() {
 
 // Sample implements Sampler with stratified rank-proportional draws.
 func (s *RankPERSampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler.
+func (s *RankPERSampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
 	length := s.buf.Len()
 	if length == 0 {
 		panic("replay: sampling from empty buffer")
 	}
+	s.mu.Lock()
 	if s.dirty || len(s.order) != length {
 		s.rebuild()
 	}
+	s.mu.Unlock()
 	total := s.cum[len(s.cum)-1]
-	idx := make([]int, n)
-	weights := make([]float64, n)
+	dst.Reset(n)
+	dst.growWeights(n)
 	segment := total / float64(n)
 	flen := float64(length)
 	maxW := 0.0
@@ -88,20 +103,19 @@ func (s *RankPERSampler) Sample(n int, rng *rand.Rand) Sample {
 		if pos >= length {
 			pos = length - 1
 		}
-		idx[i] = s.order[pos]
+		dst.Indices = append(dst.Indices, s.order[pos])
 		prob := (1 / float64(pos+1)) / total
 		w := math.Pow(1/(flen*prob), s.Beta)
-		weights[i] = w
+		dst.Weights = append(dst.Weights, w)
 		if w > maxW {
 			maxW = w
 		}
 	}
 	if maxW > 0 {
-		for i := range weights {
-			weights[i] /= maxW
+		for i := range dst.Weights {
+			dst.Weights[i] /= maxW
 		}
 	}
-	return Sample{Indices: idx, Weights: weights}
 }
 
 // UpdatePriorities implements PrioritySampler. Non-finite and negative TD

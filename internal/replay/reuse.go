@@ -3,6 +3,7 @@ package replay
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // ReuseSampler models the transition-reuse strategy of AccMER (Gogineni et
@@ -15,6 +16,7 @@ type ReuseSampler struct {
 	inner  Sampler
 	Window int
 
+	mu        sync.Mutex // guards the cache: SampleInto mutates it on refresh
 	cached    Sample
 	usesLeft  int
 	cachedFor int // batch size the cache was drawn for
@@ -38,14 +40,28 @@ func (s *ReuseSampler) Name() string {
 // lasts, then refreshes from the inner sampler. A change in requested batch
 // size invalidates the cache.
 func (s *ReuseSampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler. The cache is copied into dst rather than
+// aliased, so concurrent callers (serialized on the refresh by the mutex)
+// each get independent storage.
+func (s *ReuseSampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
+	s.mu.Lock()
 	if s.usesLeft > 0 && s.cachedFor == n {
 		s.usesLeft--
-		return s.cached
+	} else {
+		s.inner.SampleInto(&s.cached, n, rng)
+		s.cachedFor = n
+		s.usesLeft = s.Window - 1
 	}
-	s.cached = s.inner.Sample(n, rng)
-	s.cachedFor = n
-	s.usesLeft = s.Window - 1
-	return s.cached
+	dst.Reset(len(s.cached.Indices))
+	dst.Indices = append(dst.Indices, s.cached.Indices...)
+	dst.growWeights(len(s.cached.Weights))
+	dst.Weights = append(dst.Weights, s.cached.Weights...)
+	dst.growRefs(len(s.cached.Refs))
+	dst.Refs = append(dst.Refs, s.cached.Refs...)
+	s.mu.Unlock()
 }
 
 // UpdatePriorities forwards TD errors to the inner sampler when it is

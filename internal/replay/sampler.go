@@ -9,27 +9,80 @@ import (
 type Sample struct {
 	Indices []int
 	// Weights holds the Lemma-1 importance-sampling weights, normalized so
-	// the largest is 1. A nil slice means uniform (all-ones) weights.
+	// the largest is 1. A nil or empty slice means uniform (all-ones)
+	// weights.
 	Weights []float64
 	// Refs records the reference points locality-aware samplers expanded,
 	// for diagnostics and tests; nil for non-locality samplers.
 	Refs []int
 }
 
+// Reset truncates the sample's slices in place (retaining capacity) and
+// ensures Indices can hold n entries without reallocating. SampleInto
+// implementations call it first, so a Sample reused across updates settles
+// into zero steady-state allocation.
+func (s *Sample) Reset(n int) {
+	if cap(s.Indices) < n {
+		s.Indices = make([]int, 0, n)
+	}
+	s.Indices = s.Indices[:0]
+	s.Weights = s.Weights[:0]
+	s.Refs = s.Refs[:0]
+}
+
+// growWeights ensures Weights can hold n entries without reallocating.
+func (s *Sample) growWeights(n int) {
+	if cap(s.Weights) < n {
+		s.Weights = make([]float64, 0, n)
+	}
+}
+
+// growRefs ensures Refs can hold n entries without reallocating (n is the
+// worst case: every reference run truncated after one neighbor).
+func (s *Sample) growRefs(n int) {
+	if cap(s.Refs) < n {
+		s.Refs = make([]int, 0, n)
+	}
+}
+
 // Sampler produces mini-batch index sets over a buffer.
 type Sampler interface {
 	// Name identifies the strategy in reports.
 	Name() string
-	// Sample returns n transition indices (with optional IS weights).
+	// Sample returns n transition indices (with optional IS weights) in
+	// freshly allocated slices.
 	Sample(n int, rng *rand.Rand) Sample
+	// SampleInto fills dst with n transition indices (and optional IS
+	// weights), reusing dst's storage; steady-state calls do not allocate.
+	// Concurrent SampleInto calls with distinct dst and rng are safe as
+	// long as no priority update or buffer write runs concurrently — the
+	// contract of the parallel update engine, which batches TD-error
+	// feedback and applies it after all workers join.
+	SampleInto(dst *Sample, n int, rng *rand.Rand)
 }
 
 // PrioritySampler is a Sampler whose distribution adapts to TD errors.
 type PrioritySampler interface {
 	Sampler
 	// UpdatePriorities refreshes the priorities of the sampled indices with
-	// their new absolute TD errors.
+	// their new absolute TD errors. Not safe to call while SampleInto runs
+	// on another goroutine; callers running parallel updates must batch
+	// TD errors per worker and apply them after the join.
 	UpdatePriorities(indices []int, tdAbs []float64)
+}
+
+// sampled adapts a SampleInto implementation to the value-returning Sample
+// API, preserving its historical nil-slice conventions.
+func sampled(s Sampler, n int, rng *rand.Rand) Sample {
+	var dst Sample
+	s.SampleInto(&dst, n, rng)
+	if len(dst.Weights) == 0 {
+		dst.Weights = nil
+	}
+	if len(dst.Refs) == 0 {
+		dst.Refs = nil
+	}
+	return dst
 }
 
 // UniformSampler is the MARL baseline: every index is drawn i.i.d. uniform
@@ -49,12 +102,19 @@ func (s *UniformSampler) Name() string { return "uniform" }
 
 // Sample implements Sampler.
 func (s *UniformSampler) Sample(n int, rng *rand.Rand) Sample {
-	if s.buf.Len() == 0 {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler.
+func (s *UniformSampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
+	length := s.buf.Len()
+	if length == 0 {
 		panic("replay: sampling from empty buffer")
 	}
-	idx := make([]int, n)
-	sampleUniformIndices(idx, s.buf.Len(), rng)
-	return Sample{Indices: idx}
+	dst.Reset(n)
+	for i := 0; i < n; i++ {
+		dst.Indices = append(dst.Indices, rng.Intn(length))
+	}
 }
 
 // LocalitySampler implements the paper's Algorithm 1: draw Refs uniform
@@ -86,22 +146,26 @@ func (s *LocalitySampler) Name() string {
 // from additional reference points; if refs·neighbors > n the final run is
 // truncated, so exactly n indices are always returned.
 func (s *LocalitySampler) Sample(n int, rng *rand.Rand) Sample {
+	return sampled(s, n, rng)
+}
+
+// SampleInto implements Sampler.
+func (s *LocalitySampler) SampleInto(dst *Sample, n int, rng *rand.Rand) {
 	length := s.buf.Len()
 	if length == 0 {
 		panic("replay: sampling from empty buffer")
 	}
-	idx := make([]int, 0, n)
-	var refs []int
-	for len(idx) < n {
+	dst.Reset(n)
+	dst.growRefs((n + s.Neighbors - 1) / s.Neighbors)
+	for len(dst.Indices) < n {
 		ref := rng.Intn(length)
-		refs = append(refs, ref)
+		dst.Refs = append(dst.Refs, ref)
 		run := s.Neighbors
-		if rem := n - len(idx); run > rem {
+		if rem := n - len(dst.Indices); run > rem {
 			run = rem
 		}
 		for k := 0; k < run; k++ {
-			idx = append(idx, (ref+k)%length)
+			dst.Indices = append(dst.Indices, (ref+k)%length)
 		}
 	}
-	return Sample{Indices: idx, Refs: refs}
 }

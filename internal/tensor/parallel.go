@@ -3,6 +3,7 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The paper runs network phases (action selection, target-Q, Q/P-loss
@@ -14,6 +15,24 @@ import (
 // parallelThreshold is the approximate multiply-add count below which
 // splitting a matmul across goroutines costs more than it saves.
 const parallelThreshold = 1 << 17
+
+// coarseDepth counts how many coarse-grained parallel regions (per-agent
+// update workers) are active. While non-zero, the row-parallel kernels run
+// serially: the cores are already busy with one matmul per agent, and
+// nesting goroutine fan-out inside them only adds scheduling overhead.
+// Row ownership is identical either way, so results are bit-identical.
+var coarseDepth atomic.Int64
+
+// BeginCoarseParallel marks the start of a coarse-grained parallel region.
+// Every call must be paired with EndCoarseParallel.
+func BeginCoarseParallel() { coarseDepth.Add(1) }
+
+// EndCoarseParallel marks the end of a coarse-grained parallel region.
+func EndCoarseParallel() {
+	if coarseDepth.Add(-1) < 0 {
+		panic("tensor: EndCoarseParallel without matching Begin")
+	}
+}
 
 // maxWorkers caps the worker count for one kernel invocation.
 func maxWorkers(rows int) int {
@@ -32,7 +51,7 @@ func maxWorkers(rows int) int {
 // deterministic.
 func parallelRows(rows, flops int, fn func(lo, hi int)) {
 	workers := maxWorkers(rows)
-	if workers == 1 || flops < parallelThreshold {
+	if workers == 1 || flops < parallelThreshold || coarseDepth.Load() > 0 {
 		fn(0, rows)
 		return
 	}
