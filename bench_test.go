@@ -10,7 +10,10 @@ import (
 	"encoding/json"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 
 	"marlperf/internal/core"
@@ -493,10 +496,13 @@ func BenchmarkUpdateWorkersSweep(b *testing.B) {
 	}
 	out := struct {
 		Benchmark  string           `json:"benchmark"`
+		GoVersion  string           `json:"go_version"`
 		GOMAXPROCS int              `json:"gomaxprocs"`
+		Commit     string           `json:"commit"`
+		Host       string           `json:"host"`
 		Unit       string           `json:"unit"`
 		Results    []updateSweepRow `json:"results"`
-	}{"UpdateWorkersSweep", runtime.GOMAXPROCS(0), "ns/op", rows}
+	}{"UpdateWorkersSweep", runtime.Version(), runtime.GOMAXPROCS(0), benchCommit(), benchHost(), "ns/op", rows}
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -505,6 +511,42 @@ func BenchmarkUpdateWorkersSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Logf("wrote %d sweep rows to BENCH_update.json", len(rows))
+}
+
+// benchCommit identifies the source revision a sweep was produced from:
+// the VCS stamp when the test binary carries one, else the checkout's
+// HEAD, else "unknown".
+func benchCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
+func benchHost() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "unknown"
 }
 
 // BenchmarkSampleIntoGather tracks the zero-allocation sampling hot path:

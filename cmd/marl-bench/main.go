@@ -7,6 +7,7 @@
 //	marl-bench -list
 //	marl-bench -exp fig8 [-scale small|full]
 //	marl-bench -exp all  [-scale small|full]
+//	marl-bench -exp all -metrics-addr :9090   # watch progress, grab pprof
 package main
 
 import (
@@ -17,15 +18,17 @@ import (
 	"time"
 
 	"marlperf/internal/experiments"
+	"marlperf/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (table1, fig2…fig14, ablation-*) or 'all'")
-		scale   = flag.String("scale", "small", "measurement scale: small or full")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		format  = flag.String("format", "text", "output format: text or md")
-		workers = flag.Int("workers", 0, "update-stage worker pool size (0: keep the scale's serial default); results are seed-identical for any value")
+		exp         = flag.String("exp", "", "experiment ID (table1, fig2…fig14, ablation-*) or 'all'")
+		scale       = flag.String("scale", "small", "measurement scale: small or full")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		format      = flag.String("format", "text", "output format: text or md")
+		workers     = flag.Int("workers", 0, "update-stage worker pool size (0: keep the scale's serial default); results are seed-identical for any value")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -69,9 +72,38 @@ func main() {
 		}
 	}
 
+	// Opt-in live observability: experiment progress on /metrics, and —
+	// the main draw for long `full`-scale runs — CPU/heap profiles on
+	// /debug/pprof.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.SetHelp("marl_bench_experiment_running", "1 while the labelled experiment runs, 0 once it finished.")
+		reg.SetHelp("marl_bench_experiments_completed_total", "Experiments finished by this process.")
+		reg.SetHelp("marl_bench_experiment_seconds", "Wall time per completed experiment.")
+		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s (pprof at /debug/pprof)\n", srv.Addr())
+	}
+
 	for _, r := range runners {
+		var running *telemetry.Gauge
+		if reg != nil {
+			running = reg.Gauge("marl_bench_experiment_running", "exp", r.ID)
+			running.Set(1)
+		}
 		start := time.Now()
 		res := r.Run(s)
+		elapsed := time.Since(start)
+		if reg != nil {
+			running.Set(0)
+			reg.Counter("marl_bench_experiments_completed_total").Inc()
+			reg.Histogram("marl_bench_experiment_seconds", nil).Observe(elapsed.Seconds())
+		}
 		if *format == "md" {
 			fmt.Printf("## %s — %s (scale=%s)\n\n", r.ID, r.Description, s.Name)
 			fmt.Println(res.Markdown())
@@ -79,6 +111,6 @@ func main() {
 			fmt.Printf("### %s — %s (scale=%s)\n", r.ID, r.Description, s.Name)
 			fmt.Println(res.String())
 		}
-		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
 }

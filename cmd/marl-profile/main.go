@@ -5,9 +5,12 @@
 // Usage:
 //
 //	marl-profile -env pp -algo maddpg -agents 3,6,12 -episodes 4
+//	marl-profile -agents 3,6 -json                   # machine-readable JSONL
+//	marl-profile -agents 12 -metrics-addr :9090      # live /metrics + pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,19 +20,44 @@ import (
 	"time"
 
 	"marlperf"
+	"marlperf/internal/core"
 	"marlperf/internal/replay"
 	"marlperf/internal/simcache"
+	"marlperf/internal/telemetry"
 )
+
+// samplingCounters is the simulated hardware-counter block of one config.
+type samplingCounters struct {
+	Accesses   uint64 `json:"accesses"`
+	L1Misses   uint64 `json:"l1_misses"`
+	LLCMisses  uint64 `json:"llc_misses"`
+	DTLBMisses uint64 `json:"dtlb_misses"`
+}
+
+// profileJSON is one -json output line (one per configuration).
+type profileJSON struct {
+	Env       string           `json:"env"`
+	Algo      string           `json:"algo"`
+	Agents    int              `json:"agents"`
+	Episodes  int              `json:"episodes"`
+	Workers   int              `json:"workers"`
+	ElapsedMS int64            `json:"elapsed_ms"`
+	Profile   json.RawMessage  `json:"profile"`
+	Counters  samplingCounters `json:"sampling_counters"`
+}
 
 func main() {
 	var (
-		envName  = flag.String("env", "pp", "environment: pp or cn")
-		algoName = flag.String("algo", "maddpg", "algorithm: maddpg or matd3")
-		agentsCS = flag.String("agents", "3,6", "comma-separated agent counts")
-		episodes = flag.Int("episodes", 4, "episodes per configuration")
-		batch    = flag.Int("batch", 512, "mini-batch size")
-		fill     = flag.Int("fill", 20000, "buffer fill for the counter trace")
-		workers  = flag.Int("workers", 1, "update-stage worker pool size (0: GOMAXPROCS); phase times are per-pool, results are seed-identical")
+		envName     = flag.String("env", "pp", "environment: pp or cn")
+		algoName    = flag.String("algo", "maddpg", "algorithm: maddpg or matd3")
+		agentsCS    = flag.String("agents", "3,6", "comma-separated agent counts")
+		episodes    = flag.Int("episodes", 4, "episodes per configuration")
+		batch       = flag.Int("batch", 512, "mini-batch size")
+		fill        = flag.Int("fill", 20000, "buffer fill for the counter trace")
+		workers     = flag.Int("workers", 1, "update-stage worker pool size (0: GOMAXPROCS); phase times are per-pool, results are seed-identical")
+		jsonOut     = flag.Bool("json", false, "print one machine-readable JSON line per configuration instead of the text tables")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /profilez, /healthz and /debug/pprof on this address while profiling")
+		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +76,35 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	var (
+		reg      *telemetry.Registry
+		col      *telemetry.PhaseCollector
+		profSnap *telemetry.JSONSnapshot
+		runLog   *telemetry.RunLog
+	)
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		col = telemetry.NewPhaseCollector(reg)
+		profSnap = &telemetry.JSONSnapshot{}
+		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: reg, Profilez: profSnap})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", srv.Addr())
+	}
+	if *runlogPath != "" {
+		l, err := telemetry.CreateRunLog(*runlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		runLog = l
+	}
+
+	enc := json.NewEncoder(os.Stdout)
 	for _, n := range counts {
 		var env marlperf.Env
 		if *envName == "pp" {
@@ -65,14 +122,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s %s, %d agents ===\n", *algoName, env.Name(), n)
+		if col != nil {
+			tr.SetPhaseObserver(col)
+		}
+		if runLog != nil {
+			tr.SetUpdateListener(func(ev core.UpdateEvent) {
+				if err := runLog.Append(ev); err != nil {
+					fmt.Fprintln(os.Stderr, "warning: run log append failed:", err)
+				}
+			})
+		}
+		if !*jsonOut {
+			fmt.Printf("=== %s %s, %d agents ===\n", *algoName, env.Name(), n)
+		}
 		tr.Warmup(*batch)
 		start := time.Now()
 		tr.RunEpisodes(*episodes, nil)
-		fmt.Printf("%d episodes in %v\n", *episodes, time.Since(start).Round(time.Millisecond))
-		fmt.Print(tr.Profile().Report())
-		fmt.Println()
-		tr.Close()
+		elapsed := time.Since(start)
+		if !*jsonOut {
+			fmt.Printf("%d episodes in %v\n", *episodes, elapsed.Round(time.Millisecond))
+			fmt.Print(tr.Profile().Report())
+			fmt.Println()
+		}
+		if profSnap != nil {
+			if data, err := json.Marshal(tr.Profile()); err == nil {
+				profSnap.Set(data)
+			}
+		}
+		if runLog != nil {
+			if err := runLog.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log flush failed:", err)
+			}
+		}
 
 		// Simulated sampling-phase counters (perf substitute).
 		spec := replay.Spec{
@@ -96,9 +177,37 @@ func main() {
 			buf.GatherAll(s.Indices, batches)
 		}
 		st := h.Stats()
-		fmt.Printf("sampling-phase counters (1 update, simulated Ryzen/RTX-3090 host):\n")
-		fmt.Printf("  accesses %d  L1 misses %d  LLC misses %d  dTLB misses %d\n\n",
-			st.Accesses, st.L1Misses, st.L3Misses, st.TLBMisses)
+		ctrs := samplingCounters{
+			Accesses:   st.Accesses,
+			L1Misses:   st.L1Misses,
+			LLCMisses:  st.L3Misses,
+			DTLBMisses: st.TLBMisses,
+		}
+		if *jsonOut {
+			profData, err := json.Marshal(tr.Profile())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := enc.Encode(profileJSON{
+				Env:       env.Name(),
+				Algo:      *algoName,
+				Agents:    n,
+				Episodes:  *episodes,
+				Workers:   tr.UpdateWorkers(),
+				ElapsedMS: elapsed.Milliseconds(),
+				Profile:   profData,
+				Counters:  ctrs,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("sampling-phase counters (1 update, simulated Ryzen/RTX-3090 host):\n")
+			fmt.Printf("  accesses %d  L1 misses %d  LLC misses %d  dTLB misses %d\n\n",
+				st.Accesses, st.L1Misses, st.L3Misses, st.TLBMisses)
+		}
+		tr.Close()
 	}
 }
 

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"marlperf/internal/profiler"
 	"marlperf/internal/replay"
 	"marlperf/internal/resilience"
+	"marlperf/internal/telemetry"
 )
 
 // Exit codes (documented in -h output).
@@ -61,6 +63,9 @@ func run() int {
 		evalEps   = flag.Int("eval", 0, "greedy evaluation episodes after training")
 		render    = flag.Bool("render", false, "render the final world state as ASCII")
 
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /profilez, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
+
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for crash-safe snapshot generations (enables resumable runs)")
 		checkpointEvery = flag.Int("checkpoint-every", 25, "episodes between periodic snapshots (0: only the final one)")
 		resume          = flag.Bool("resume", false, "resume from the newest intact snapshot in -checkpoint-dir")
@@ -74,6 +79,11 @@ Trains one MARL configuration end to end and reports reward progress plus
 the phase-time breakdown. With -checkpoint-dir the run is resumable: it
 writes CRC-protected snapshot generations atomically and -resume restarts
 from the newest intact one, skipping truncated or corrupt generations.
+
+With -metrics-addr the run is observable live: /metrics serves Prometheus
+text exposition (per-phase latency histograms, event counters, run gauges),
+/profilez the profiler state as JSON, /healthz liveness, and /debug/pprof
+the Go profiler. -runlog appends one JSONL run-event record per update step.
 
 Exit codes:
   0  training completed
@@ -159,6 +169,18 @@ Flags:
 		fmt.Printf("restored checkpoint from %s (%d steps, %d updates)\n", *loadPath, tr.TotalSteps(), tr.UpdateCount())
 	}
 
+	tel, err := setupTelemetry(tr, *metricsAddr, *runlogPath, telemetryInfo{
+		algo: *algoName, env: env.Name(), sampler: *sampler,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	defer tel.close()
+	if tel.server != nil {
+		fmt.Printf("telemetry: serving /metrics on http://%s\n", tel.server.Addr())
+	}
+
 	var store *resilience.Store
 	if *checkpointDir != "" {
 		store, err = resilience.NewStore(*checkpointDir, *retain)
@@ -213,6 +235,7 @@ Flags:
 				ep, mean, tr.UpdateCount(), time.Since(start).Round(time.Millisecond))
 			window, count = 0, 0
 		}
+		tel.refresh(tr)
 		if wd != nil {
 			ev, err := wd.Observe()
 			if err != nil {
@@ -244,6 +267,8 @@ Flags:
 		}
 		fmt.Printf("snapshot generation %d written to %s\n", tr.EpisodeCount(), store.Dir())
 	}
+
+	tel.refresh(tr)
 
 	fmt.Printf("\n%s after %v (%d env steps, %d updates, %d episodes total)\n\n",
 		map[bool]string{false: "done", true: "interrupted"}[interrupted],
@@ -349,6 +374,111 @@ func saveSnapshot(store *resilience.Store, tr *marlperf.Trainer) error {
 	}
 	tr.Profile().Event(profiler.EventCheckpointWritten, 1)
 	return nil
+}
+
+// telemetryInfo labels the run-info gauge.
+type telemetryInfo struct {
+	algo, env, sampler string
+}
+
+// telemetryState bundles the optional live-observability wiring: the
+// metrics registry + HTTP server behind -metrics-addr and the JSONL run
+// log behind -runlog. The zero value (both flags empty) is inert.
+type telemetryState struct {
+	registry *telemetry.Registry
+	server   *telemetry.Server
+	profSnap *telemetry.JSONSnapshot
+	runLog   *telemetry.RunLog
+
+	runLogErrOnce bool
+}
+
+// setupTelemetry builds whatever the flags enable and attaches the phase
+// observer and per-update listener to the trainer.
+func setupTelemetry(tr *marlperf.Trainer, metricsAddr, runlogPath string, info telemetryInfo) (*telemetryState, error) {
+	tel := &telemetryState{}
+	if metricsAddr != "" {
+		tel.registry = telemetry.NewRegistry()
+		tr.SetPhaseObserver(telemetry.NewPhaseCollector(tel.registry))
+		tel.profSnap = &telemetry.JSONSnapshot{}
+		tel.registry.SetHelp("marl_run_info", "Constant 1, labelled with the run's workload identity.")
+		tel.registry.Gauge("marl_run_info",
+			"algo", info.algo, "env", info.env, "sampler", info.sampler).Set(1)
+		srv, err := telemetry.StartServer(metricsAddr, telemetry.ServerConfig{
+			Registry: tel.registry,
+			Profilez: tel.profSnap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tel.server = srv
+	}
+	if runlogPath != "" {
+		l, err := telemetry.CreateRunLog(runlogPath)
+		if err != nil {
+			if tel.server != nil {
+				tel.server.Close()
+			}
+			return nil, err
+		}
+		tel.runLog = l
+	}
+	if tel.registry == nil && tel.runLog == nil {
+		return tel, nil
+	}
+
+	var gSteps, gUpdates, gEpisodes, gReward, gTD *telemetry.Gauge
+	if tel.registry != nil {
+		gSteps = tel.registry.Gauge("marl_env_steps")
+		gUpdates = tel.registry.Gauge("marl_updates")
+		gEpisodes = tel.registry.Gauge("marl_episodes")
+		gReward = tel.registry.Gauge("marl_episode_reward")
+		gTD = tel.registry.Gauge("marl_td_mean")
+	}
+	tr.SetUpdateListener(func(ev core.UpdateEvent) {
+		if tel.runLog != nil {
+			if err := tel.runLog.Append(ev); err != nil && !tel.runLogErrOnce {
+				tel.runLogErrOnce = true
+				fmt.Fprintln(os.Stderr, "warning: run log append failed:", err)
+			}
+		}
+		if tel.registry != nil {
+			gSteps.Set(float64(ev.Step))
+			gUpdates.Set(float64(ev.Update))
+			gEpisodes.Set(float64(ev.Episode))
+			gReward.Set(ev.EpisodeReward)
+			gTD.Set(ev.TDMean)
+		}
+	})
+	return tel, nil
+}
+
+// refresh republishes the /profilez snapshot and pushes buffered run-log
+// records to disk; called at episode boundaries (trainer quiescent).
+func (tel *telemetryState) refresh(tr *marlperf.Trainer) {
+	if tel.profSnap != nil {
+		if data, err := json.Marshal(tr.Profile()); err == nil {
+			tel.profSnap.Set(data)
+		}
+	}
+	if tel.runLog != nil {
+		if err := tel.runLog.Flush(); err != nil && !tel.runLogErrOnce {
+			tel.runLogErrOnce = true
+			fmt.Fprintln(os.Stderr, "warning: run log flush failed:", err)
+		}
+	}
+}
+
+// close tears the telemetry down; safe on the zero value.
+func (tel *telemetryState) close() {
+	if tel.runLog != nil {
+		if err := tel.runLog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: run log close:", err)
+		}
+	}
+	if tel.server != nil {
+		tel.server.Close()
+	}
 }
 
 func writeBareCheckpoint(tr *marlperf.Trainer, path string) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"marlperf/internal/mpe"
 	"marlperf/internal/nn"
@@ -52,6 +53,13 @@ type Trainer struct {
 	// Health signals for the watchdog.
 	lastTDMean    float64 // mean |TD error| of the most recent critic update
 	sanitizedSeen uint64  // sampler clamp count already forwarded to the profiler
+
+	// Telemetry taps. phaseObs mirrors every phase observation and event
+	// to an external collector; updateListener receives one UpdateEvent
+	// per completed update-all-trainers stage. Both are optional.
+	phaseObs       profiler.Observer
+	updateListener func(UpdateEvent)
+	prevPhaseDur   []time.Duration // per-phase totals at the last emitted event
 
 	// Joint-space layout: column offsets of each agent's observation and
 	// action block in the critic input [obs_1..obs_N, act_1..act_N].
@@ -123,6 +131,7 @@ func (t *Trainer) newUpdateScratch() *updateScratch {
 		s.targetProbs[i] = tensor.New(b, t.actDim)
 		s.tActors[i] = t.agents[i].targetActor.SharedClone()
 	}
+	s.prof.SetObserver(t.phaseObs)
 	return s
 }
 
@@ -497,6 +506,10 @@ func (t *Trainer) UpdateAllTrainers() {
 			ag.softUpdateTargets(t.cfg.Tau)
 		}
 		t.prof.Stop(profiler.PhaseQPLoss)
+	}
+
+	if t.updateListener != nil {
+		t.updateListener(t.buildUpdateEvent())
 	}
 }
 

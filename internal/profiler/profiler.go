@@ -4,6 +4,7 @@
 package profiler
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,6 +55,21 @@ func Phases() []Phase {
 	return out
 }
 
+// NumPhases returns how many phases exist, for callers that index
+// per-phase state by int(Phase).
+func NumPhases() int { return int(numPhases) }
+
+// Observer receives every phase observation and event increment as it is
+// recorded. A Profile is single-threaded, but the parallel update engine
+// runs one Profile shard per worker, all pointed at the same observer —
+// implementations must therefore be safe for concurrent use. Merge and
+// DrainInto do NOT re-notify: an observation is delivered exactly once, at
+// the Stop/Add/Event call that records it.
+type Observer interface {
+	ObservePhase(p Phase, d time.Duration)
+	ObserveEvent(name string, n uint64)
+}
+
 // Profile accumulates wall time and call counts per phase. The zero value
 // is ready to use. Not safe for concurrent use; the training loop is
 // single-threaded like the paper's sampling path.
@@ -64,7 +80,14 @@ type Profile struct {
 	running   [numPhases]bool
 
 	events map[string]uint64
+
+	obs Observer
 }
+
+// SetObserver attaches o to the profile; every subsequent Stop, Add and
+// Event call is mirrored to it. A nil o detaches. The observer survives
+// Reset (it is configuration, not accumulated data).
+func (pr *Profile) SetObserver(o Observer) { pr.obs = o }
 
 // Well-known event names recorded by the resilience machinery.
 const (
@@ -85,6 +108,9 @@ func (pr *Profile) Event(name string, n uint64) {
 		pr.events = make(map[string]uint64)
 	}
 	pr.events[name] += n
+	if pr.obs != nil {
+		pr.obs.ObserveEvent(name, n)
+	}
 }
 
 // EventCount returns the accumulated count of the named event.
@@ -114,15 +140,22 @@ func (pr *Profile) Stop(p Phase) {
 	if !pr.running[p] {
 		panic(fmt.Sprintf("profiler: phase %v stopped without start", p))
 	}
-	pr.durations[p] += time.Since(pr.started[p])
+	d := time.Since(pr.started[p])
+	pr.durations[p] += d
 	pr.counts[p]++
 	pr.running[p] = false
+	if pr.obs != nil {
+		pr.obs.ObservePhase(p, d)
+	}
 }
 
 // Add directly accumulates a duration (for externally timed work).
 func (pr *Profile) Add(p Phase, d time.Duration) {
 	pr.durations[p] += d
 	pr.counts[p]++
+	if pr.obs != nil {
+		pr.obs.ObservePhase(p, d)
+	}
 }
 
 // Duration returns the accumulated wall time of phase p.
@@ -173,17 +206,34 @@ func (pr *Profile) PercentOfUpdate(p Phase) float64 {
 	return 100 * float64(pr.durations[p]) / float64(upd)
 }
 
-// Reset clears all accumulated data.
-func (pr *Profile) Reset() { *pr = Profile{} }
+// Reset clears all accumulated data in place, keeping the allocated events
+// map (consistent with DrainInto, which reuses it) and the attached
+// observer.
+func (pr *Profile) Reset() {
+	for i := range pr.durations {
+		pr.durations[i] = 0
+		pr.counts[i] = 0
+		pr.started[i] = time.Time{}
+		pr.running[i] = false
+	}
+	for name := range pr.events {
+		delete(pr.events, name)
+	}
+}
 
-// Merge accumulates other's durations, counts and events into pr.
+// Merge accumulates other's durations, counts and events into pr. Merged
+// data is an aggregation of already-observed measurements, so pr's observer
+// is not re-notified.
 func (pr *Profile) Merge(other *Profile) {
 	for i := range pr.durations {
 		pr.durations[i] += other.durations[i]
 		pr.counts[i] += other.counts[i]
 	}
+	if pr.events == nil && len(other.events) > 0 {
+		pr.events = make(map[string]uint64, len(other.events))
+	}
 	for name, n := range other.events {
-		pr.Event(name, n)
+		pr.events[name] += n
 	}
 }
 
@@ -225,6 +275,53 @@ func (pr *Profile) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// phaseJSON is one row of the machine-readable profile.
+type phaseJSON struct {
+	Phase          string  `json:"phase"`
+	Nanos          int64   `json:"nanos"`
+	Calls          uint64  `json:"calls"`
+	PercentOfTotal float64 `json:"percent_of_total"`
+}
+
+// MarshalJSON renders the profile as a machine-readable document: every
+// phase with accumulated time or calls, the derived update-all-trainers and
+// interaction stage totals with their shares of total time, and the event
+// counters. Shape is stable for downstream tooling (marl-profile -json,
+// the /profilez endpoint).
+func (pr *Profile) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Phases              []phaseJSON       `json:"phases"`
+		TotalNanos          int64             `json:"total_nanos"`
+		UpdateTrainersNanos int64             `json:"update_all_trainers_nanos"`
+		InteractionNanos    int64             `json:"interaction_nanos"`
+		UpdateSharePct      float64           `json:"update_share_percent"`
+		InteractionSharePct float64           `json:"interaction_share_percent"`
+		Events              map[string]uint64 `json:"events,omitempty"`
+	}{
+		Phases:              make([]phaseJSON, 0, numPhases),
+		TotalNanos:          pr.Total().Nanoseconds(),
+		UpdateTrainersNanos: pr.UpdateTrainers().Nanoseconds(),
+		InteractionNanos:    pr.Interaction().Nanoseconds(),
+		UpdateSharePct:      percentOf(pr.UpdateTrainers(), pr.Total()),
+		InteractionSharePct: percentOf(pr.Interaction(), pr.Total()),
+	}
+	for _, p := range Phases() {
+		if pr.counts[p] == 0 && pr.durations[p] == 0 {
+			continue
+		}
+		out.Phases = append(out.Phases, phaseJSON{
+			Phase:          p.String(),
+			Nanos:          pr.durations[p].Nanoseconds(),
+			Calls:          pr.counts[p],
+			PercentOfTotal: pr.Percent(p),
+		})
+	}
+	if len(pr.events) > 0 {
+		out.Events = pr.events
+	}
+	return json.Marshal(&out)
 }
 
 func percentOf(part, whole time.Duration) float64 {

@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -133,6 +134,164 @@ func TestEventCounters(t *testing.T) {
 	p.Reset()
 	if len(p.Events()) != 0 {
 		t.Fatal("Reset should clear events")
+	}
+}
+
+// TestResetKeepsEventMap verifies the DrainInto-consistent Reset: the
+// allocated events map survives and is cleared in place, so a profile that
+// is Reset between measurement windows does not reallocate per window.
+func TestResetKeepsEventMap(t *testing.T) {
+	var p Profile
+	p.Event(EventCheckpointWritten, 3)
+	p.Reset()
+	if p.events == nil {
+		t.Fatal("Reset discarded the allocated events map")
+	}
+	if len(p.events) != 0 {
+		t.Fatalf("Reset left %d events behind", len(p.events))
+	}
+	p.Event(EventCheckpointWritten, 1)
+	if got := p.EventCount(EventCheckpointWritten); got != 1 {
+		t.Fatalf("EventCount after Reset = %d, want 1", got)
+	}
+	p.Start(PhaseSampling)
+	p.Reset()
+	p.Start(PhaseSampling) // must not panic: Reset cleared the running flag
+	p.Stop(PhaseSampling)
+}
+
+// recordingObserver captures observer callbacks for the tests below. It
+// only needs to be single-threaded here.
+type recordingObserver struct {
+	phases map[Phase]time.Duration
+	calls  map[Phase]uint64
+	events map[string]uint64
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{
+		phases: make(map[Phase]time.Duration),
+		calls:  make(map[Phase]uint64),
+		events: make(map[string]uint64),
+	}
+}
+
+func (o *recordingObserver) ObservePhase(p Phase, d time.Duration) {
+	o.phases[p] += d
+	o.calls[p]++
+}
+
+func (o *recordingObserver) ObserveEvent(name string, n uint64) { o.events[name] += n }
+
+func TestObserverMirrorsStopAddEvent(t *testing.T) {
+	obs := newRecordingObserver()
+	var p Profile
+	p.SetObserver(obs)
+	p.Add(PhaseSampling, 10*time.Millisecond)
+	p.Add(PhaseSampling, 5*time.Millisecond)
+	p.Start(PhaseEnvStep)
+	p.Stop(PhaseEnvStep)
+	p.Event(EventWatchdogRollback, 2)
+
+	if got := obs.phases[PhaseSampling]; got != 15*time.Millisecond {
+		t.Fatalf("observed sampling = %v, want 15ms", got)
+	}
+	if obs.calls[PhaseSampling] != 2 || obs.calls[PhaseEnvStep] != 1 {
+		t.Fatalf("observed calls = %v", obs.calls)
+	}
+	if obs.phases[PhaseEnvStep] != p.Duration(PhaseEnvStep) {
+		t.Fatalf("observed env-step %v != profile %v", obs.phases[PhaseEnvStep], p.Duration(PhaseEnvStep))
+	}
+	if obs.events[EventWatchdogRollback] != 2 {
+		t.Fatalf("observed events = %v", obs.events)
+	}
+}
+
+// TestMergeDoesNotRenotify: observations flow to the observer exactly once,
+// at record time. Merging an already-observed shard into an observed main
+// profile must not double-count.
+func TestMergeDoesNotRenotify(t *testing.T) {
+	obs := newRecordingObserver()
+	var main, shard Profile
+	main.SetObserver(obs)
+	shard.SetObserver(obs)
+	shard.Add(PhaseTargetQ, time.Second)
+	shard.Event(EventPriorityClamped, 4)
+	shard.DrainInto(&main)
+
+	if got := obs.phases[PhaseTargetQ]; got != time.Second {
+		t.Fatalf("observed target-q = %v after drain, want 1s (no re-notify)", got)
+	}
+	if got := obs.events[EventPriorityClamped]; got != 4 {
+		t.Fatalf("observed clamp events = %d after drain, want 4", got)
+	}
+	if main.Duration(PhaseTargetQ) != time.Second || main.EventCount(EventPriorityClamped) != 4 {
+		t.Fatal("drain lost data")
+	}
+}
+
+func TestObserverSurvivesReset(t *testing.T) {
+	obs := newRecordingObserver()
+	var p Profile
+	p.SetObserver(obs)
+	p.Reset()
+	p.Add(PhaseQPLoss, time.Millisecond)
+	if obs.calls[PhaseQPLoss] != 1 {
+		t.Fatal("observer detached by Reset")
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	var p Profile
+	p.Add(PhaseSampling, 60*time.Millisecond)
+	p.Add(PhaseTargetQ, 25*time.Millisecond)
+	p.Add(PhaseQPLoss, 15*time.Millisecond)
+	p.Add(PhaseActionSelection, 100*time.Millisecond)
+	p.Event(EventCheckpointWritten, 2)
+
+	data, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Phases []struct {
+			Phase          string  `json:"phase"`
+			Nanos          int64   `json:"nanos"`
+			Calls          uint64  `json:"calls"`
+			PercentOfTotal float64 `json:"percent_of_total"`
+		} `json:"phases"`
+		TotalNanos          int64             `json:"total_nanos"`
+		UpdateTrainersNanos int64             `json:"update_all_trainers_nanos"`
+		InteractionNanos    int64             `json:"interaction_nanos"`
+		UpdateSharePct      float64           `json:"update_share_percent"`
+		InteractionSharePct float64           `json:"interaction_share_percent"`
+		Events              map[string]uint64 `json:"events"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, data)
+	}
+	if len(got.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4 (zero phases omitted):\n%s", len(got.Phases), data)
+	}
+	if got.TotalNanos != (200 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("total_nanos = %d", got.TotalNanos)
+	}
+	if got.UpdateTrainersNanos != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("update_all_trainers_nanos = %d", got.UpdateTrainersNanos)
+	}
+	if got.InteractionNanos != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("interaction_nanos = %d", got.InteractionNanos)
+	}
+	if got.UpdateSharePct != 50 || got.InteractionSharePct != 50 {
+		t.Fatalf("shares = %v/%v, want 50/50", got.UpdateSharePct, got.InteractionSharePct)
+	}
+	if got.Events[EventCheckpointWritten] != 2 {
+		t.Fatalf("events = %v", got.Events)
+	}
+	for _, ph := range got.Phases {
+		if ph.Phase == "mini-batch-sampling" && ph.PercentOfTotal != 30 {
+			t.Fatalf("sampling percent = %v, want 30", ph.PercentOfTotal)
+		}
 	}
 }
 

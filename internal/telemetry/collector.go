@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"time"
+
+	"marlperf/internal/profiler"
+)
+
+// Metric families recorded by the phase collector.
+const (
+	// MetricPhaseSeconds is the per-phase latency histogram family,
+	// labelled by phase name.
+	MetricPhaseSeconds = "marl_phase_seconds"
+	// MetricEventsTotal is the resilience/runtime event counter family,
+	// labelled by event name.
+	MetricEventsTotal = "marl_events_total"
+)
+
+// PhaseCollector implements profiler.Observer over a Registry: every phase
+// observation lands in a marl_phase_seconds{phase=...} histogram and every
+// event increment in a marl_events_total{event=...} counter. Safe for
+// concurrent use — the parallel update engine points every worker's
+// profiler shard at the same collector.
+type PhaseCollector struct {
+	reg   *Registry
+	hists []*Histogram // indexed by int(profiler.Phase)
+}
+
+// NewPhaseCollector registers one histogram per profiler phase (with
+// DefaultDurationBuckets) and returns the collector. Event counters are
+// registered lazily on first occurrence.
+func NewPhaseCollector(reg *Registry) *PhaseCollector {
+	reg.SetHelp(MetricPhaseSeconds, "Per-call latency of each MARL training phase, in seconds.")
+	reg.SetHelp(MetricEventsTotal, "Discrete runtime events (watchdog rollbacks, checkpoint writes, sanitized actions, ...).")
+	c := &PhaseCollector{
+		reg:   reg,
+		hists: make([]*Histogram, profiler.NumPhases()),
+	}
+	for _, p := range profiler.Phases() {
+		c.hists[int(p)] = reg.Histogram(MetricPhaseSeconds, nil, "phase", p.String())
+	}
+	return c
+}
+
+// ObservePhase records one phase duration.
+func (c *PhaseCollector) ObservePhase(p profiler.Phase, d time.Duration) {
+	if i := int(p); i >= 0 && i < len(c.hists) {
+		c.hists[i].Observe(d.Seconds())
+	}
+}
+
+// ObserveEvent records n occurrences of the named event. The counter
+// lookup takes the registry's read lock; events are rare next to phase
+// observations, so this stays off the hot path.
+func (c *PhaseCollector) ObserveEvent(name string, n uint64) {
+	c.reg.Counter(MetricEventsTotal, "event", name).Add(n)
+}

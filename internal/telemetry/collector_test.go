@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"marlperf/internal/profiler"
+)
+
+// TestPhaseCollectorBridgesProfiler drives the collector the way the
+// parallel update engine does — several profiler shards on goroutines, all
+// observed by one collector — and checks the registry totals match the
+// merged profile exactly (counts, events) and to float tolerance (sums).
+func TestPhaseCollectorBridgesProfiler(t *testing.T) {
+	reg := NewRegistry()
+	col := NewPhaseCollector(reg)
+
+	var main profiler.Profile
+	main.SetObserver(col)
+	shards := make([]*profiler.Profile, 4)
+	for i := range shards {
+		shards[i] = &profiler.Profile{}
+		shards[i].SetObserver(col)
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *profiler.Profile) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sh.Add(profiler.PhaseSampling, 2*time.Millisecond)
+				sh.Add(profiler.PhaseQPLoss, time.Millisecond)
+			}
+			sh.Event(profiler.EventPriorityClamped, 3)
+		}(sh)
+	}
+	wg.Wait()
+	for _, sh := range shards {
+		sh.DrainInto(&main)
+	}
+	main.Event(profiler.EventCheckpointWritten, 2)
+
+	hist := reg.Histogram(MetricPhaseSeconds, nil, "phase", profiler.PhaseSampling.String())
+	if got, want := hist.Count(), main.Count(profiler.PhaseSampling); got != want {
+		t.Fatalf("sampling observations = %d, want %d", got, want)
+	}
+	if got, want := hist.Sum(), main.Duration(profiler.PhaseSampling).Seconds(); !near(got, want) {
+		t.Fatalf("sampling sum = %v, want %v", got, want)
+	}
+	if got := reg.Counter(MetricEventsTotal, "event", profiler.EventPriorityClamped).Value(); got != 12 {
+		t.Fatalf("clamp events = %d, want 12", got)
+	}
+	if got := reg.Counter(MetricEventsTotal, "event", profiler.EventCheckpointWritten).Value(); got != 2 {
+		t.Fatalf("checkpoint events = %d, want 2", got)
+	}
+}
+
+func near(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-9+1e-9*b
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the /metrics response, per
+// the Prometheus text exposition format v0.0.4.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteExposition renders the registry's current state in the Prometheus
+// text exposition format: one HELP/TYPE header per family (when help is
+// registered), counter series with a _total-style value line, gauges, and
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+// Series order is deterministic.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	s := r.Snapshot()
+	seen := make(map[string]bool)
+	header := func(name, typ string) error {
+		if seen[name] {
+			return nil
+		}
+		seen[name] = true
+		if help := r.helpFor(name); help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+
+	for _, c := range s.Counters {
+		if err := header(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(c.Name, c.Labels, "", ""), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := header(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(g.Name, g.Labels, "", ""), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := header(h.Name, "histogram"); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(h.Name+"_bucket", h.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(h.Name+"_sum", h.Labels, "", ""), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(h.Name+"_count", h.Labels, "", ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesName renders name{l1="v1",...} with an optional extra label (used
+// for histogram le) appended after the identity labels.
+func seriesName(name string, labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

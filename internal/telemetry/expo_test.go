@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full Prometheus text rendering of a small
+// registry: HELP/TYPE headers, label escaping, cumulative histogram
+// buckets with the +Inf tail, and deterministic series order.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("marl_events_total", "Discrete runtime events.")
+	reg.Counter("marl_events_total", "event", "watchdog-rollback").Add(3)
+	reg.Counter("marl_events_total", "event", "checkpoint-written").Add(12)
+	reg.Gauge("marl_episode_reward").Set(-42.5)
+	h := reg.Histogram("marl_phase_seconds", []float64{0.001, 0.01, 0.1}, "phase", "env-step")
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP marl_events_total Discrete runtime events.
+# TYPE marl_events_total counter
+marl_events_total{event="checkpoint-written"} 12
+marl_events_total{event="watchdog-rollback"} 3
+# TYPE marl_episode_reward gauge
+marl_episode_reward -42.5
+# TYPE marl_phase_seconds histogram
+marl_phase_seconds_bucket{phase="env-step",le="0.001"} 2
+marl_phase_seconds_bucket{phase="env-step",le="0.01"} 2
+marl_phase_seconds_bucket{phase="env-step",le="0.1"} 3
+marl_phase_seconds_bucket{phase="env-step",le="+Inf"} 4
+marl_phase_seconds_sum{phase="env-step"} 2.051
+marl_phase_seconds_count{phase="env-step"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestExpositionEmptyRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", b.String())
+	}
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucketing rule: an observation equal to a
+// bound lands in that bound's bucket (le semantics), one beyond the last
+// bound lands in +Inf.
+func TestBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{
+		0.5, // → bucket 0 (≤1)
+		1,   // → bucket 0 (≤1, boundary inclusive)
+		1.1, // → bucket 1 (≤2)
+		2,   // → bucket 1
+		4,   // → bucket 2
+		4.1, // → +Inf bucket
+		100, // → +Inf bucket
+	} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 1, 2}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if got, want := s.Sum, 0.5+1+1.1+2+4+4.1+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestAscendingBoundsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+// TestQuantileUniform checks linear interpolation: 100 observations spread
+// evenly through [0,10) against bounds every 1.0 should put p50 near 5 and
+// p90 near 9.
+func TestQuantileUniform(t *testing.T) {
+	bounds := make([]float64, 10)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := NewHistogram(bounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 10.0)
+	}
+	for _, tc := range []struct {
+		q, want, tol float64
+	}{
+		{0.50, 5.0, 0.2},
+		{0.90, 9.0, 0.2},
+		{0.99, 9.9, 0.2},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("q%v = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(100) // +Inf bucket only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to last bound 2", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(0); got < 0 || got > 1 {
+		t.Fatalf("q0 = %v, want within first bucket", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("q1 = %v, want 2", got)
+	}
+}
+
+// TestQuantileSingleBucketInterpolation: all mass in one bucket
+// interpolates between the bucket's lower and upper bound.
+func TestQuantileSingleBucketInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3})
+	for i := 0; i < 10; i++ {
+		h.Observe(2.5) // bucket (2,3]
+	}
+	got := h.Quantile(0.5)
+	if want := 2.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p50 = %v, want %v (midpoint of (2,3])", got, want)
+	}
+	if got := h.Quantile(0.1); math.Abs(got-2.1) > 1e-9 {
+		t.Fatalf("p10 = %v, want 2.1", got)
+	}
+}
+
+func TestDefaultDurationBucketsSorted(t *testing.T) {
+	b := DefaultDurationBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("default buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if b[0] > 1e-6 || b[len(b)-1] < 10 {
+		t.Fatalf("default buckets should span 1µs..10s, got [%v, %v]", b[0], b[len(b)-1])
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	if s.P50 >= 1 {
+		t.Fatalf("p50 = %v, want <1", s.P50)
+	}
+	if s.P99 < 2 || s.P99 > 4 {
+		t.Fatalf("p99 = %v, want in (2,4]", s.P99)
+	}
+	if s.P90 > s.P99 {
+		t.Fatalf("p90 %v > p99 %v", s.P90, s.P99)
+	}
+}

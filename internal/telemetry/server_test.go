@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	var snap JSONSnapshot
+	snap.Set([]byte(`{"phases":[]}`))
+	srv, err := StartServer("127.0.0.1:0", ServerConfig{Registry: reg, Profilez: &snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := getBody(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	code, body := getBody(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	code, body = getBody(t, base+"/profilez")
+	if code != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("/profilez: %d %q", code, body)
+	}
+	if code, _ := getBody(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+func TestServerProfilezUnset(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", ServerConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := getBody(t, "http://"+srv.Addr()+"/profilez"); code != http.StatusNotFound {
+		t.Fatalf("/profilez without snapshot: %d, want 404", code)
+	}
+}
+
+func TestServerRequiresRegistry(t *testing.T) {
+	if _, err := StartServer("127.0.0.1:0", ServerConfig{}); err == nil {
+		t.Fatal("nil registry should be rejected")
+	}
+}
+
+func TestJSONSnapshotCopies(t *testing.T) {
+	var s JSONSnapshot
+	if s.Get() != nil {
+		t.Fatal("fresh snapshot should be nil")
+	}
+	buf := []byte(`{"a":1}`)
+	s.Set(buf)
+	buf[0] = 'X' // mutate the caller's slice; snapshot must hold a copy
+	if got := string(s.Get()); got != `{"a":1}` {
+		t.Fatalf("snapshot aliased caller buffer: %q", got)
+	}
+}

@@ -47,6 +47,9 @@ type (
 	SamplerKind = core.SamplerKind
 	// Trainer runs the CTDE training loop with phase instrumentation.
 	Trainer = core.Trainer
+	// UpdateEvent is the per-update run-event record emitted to listeners
+	// registered with Trainer.SetUpdateListener (the -runlog JSONL schema).
+	UpdateEvent = core.UpdateEvent
 )
 
 // Environment types, re-exported from internal/mpe.
