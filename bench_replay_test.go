@@ -1,0 +1,152 @@
+package marlperf
+
+// Experience-service benchmark: the cost of drawing a mini-batch through
+// the replay path, local (in-process expstore sampling) versus remote
+// (the full expserve HTTP round trip with server-side sampling), swept
+// across batch sizes for both plan-able strategies. The grid is written
+// to BENCH_replay.json with the same provenance stamps as
+// BENCH_update.json so sweeps from different machines and revisions
+// stay comparable.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"marlperf/internal/expserve"
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+)
+
+// replaySweepRow is one (plan, batch, mode) cell, written to
+// BENCH_replay.json for machine consumption.
+type replaySweepRow struct {
+	Plan       string  `json:"plan"`
+	Batch      int     `json:"batch"`
+	Mode       string  `json:"mode"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iters      int     `json:"iters"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// benchReplaySpec is the transition shape the sweep samples: a mid-size
+// multi-agent workload (6 agents) over a prefilled 16Ki-row window.
+func benchReplaySpec() replay.Spec {
+	return replay.Spec{
+		NumAgents: 6,
+		ObsDims:   []int{26, 26, 26, 26, 26, 26},
+		ActDim:    5,
+		Capacity:  1 << 14,
+	}
+}
+
+// benchReplayFill packs rows rows of synthetic transitions into the ring.
+func benchReplayFill(b *testing.B, ring *expstore.Ring, rows int) {
+	b.Helper()
+	layout := ring.Layout()
+	rng := rand.New(rand.NewSource(11))
+	row := make([]float64, layout.Stride())
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		ring.Append(row)
+	}
+}
+
+// BenchmarkExpServeSample sweeps mini-batch size × local-vs-remote for
+// the uniform and locality plans and writes BENCH_replay.json. The
+// local and remote cells draw identical batches for identical seeds (the
+// determinism contract of the actor/learner split), so the delta is pure
+// service overhead: framing, HTTP, and the copy across the socket.
+func BenchmarkExpServeSample(b *testing.B) {
+	spec := benchReplaySpec()
+	ring := expstore.NewRing(spec)
+	benchReplayFill(b, ring, spec.Capacity)
+
+	srv, err := expserve.NewServer(expserve.ServerConfig{Provider: ring, Spec: spec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	plans := []struct {
+		name string
+		plan replay.SamplePlan
+	}{
+		{"uniform", replay.SamplePlan{Strategy: replay.PlanUniform}},
+		{"locality", replay.SamplePlan{Strategy: replay.PlanLocality, Neighbors: 16, Refs: 64}},
+	}
+	var rows []replaySweepRow
+	for _, p := range plans {
+		for _, batch := range []int{256, 1024, 4096} {
+			dst := make([]*replay.AgentBatch, spec.NumAgents)
+			for a := range dst {
+				dst[a] = replay.NewAgentBatch(batch, spec.ObsDims[a], spec.ActDim)
+			}
+
+			localSrc, err := expstore.NewSource(ring, p.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := expserve.NewClient(hs.URL, expserve.ClientOptions{
+				Timeout: 30 * time.Second, Attempts: 1, JitterSeed: 1,
+			})
+			remoteSrc, err := expserve.NewRemoteSource(client, spec, p.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			for _, mode := range []struct {
+				name string
+				src  replay.TransitionSource
+			}{{"local", localSrc}, {"remote", remoteSrc}} {
+				name := p.name + "/" + benchName("batch", batch) + "/" + mode.name
+				b.Run(name, func(b *testing.B) {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := mode.src.SampleBatch(batch, int64(i+1), dst); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					rps := 0.0
+					if ns > 0 {
+						rps = float64(batch) / (ns / 1e9)
+					}
+					rows = append(rows, replaySweepRow{
+						Plan: p.name, Batch: batch, Mode: mode.name,
+						NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
+					})
+				})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := struct {
+		Benchmark  string           `json:"benchmark"`
+		GoVersion  string           `json:"go_version"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Commit     string           `json:"commit"`
+		Host       string           `json:"host"`
+		Unit       string           `json:"unit"`
+		Results    []replaySweepRow `json:"results"`
+	}{"ExpServeSample", runtime.Version(), runtime.GOMAXPROCS(0), benchCommit(), benchHost(), "ns/op", rows}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_replay.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %d sweep rows to BENCH_replay.json", len(rows))
+}

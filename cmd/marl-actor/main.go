@@ -1,0 +1,191 @@
+// Command marl-actor collects environment experience and publishes it to
+// an experience service (marl-replayd) instead of learning from it. It is
+// the collection half of the actor/learner split: run any number of
+// actors against one replayd, each under a distinct -actor-id, and point
+// a learner at the same service with marl-train -replay-addr.
+//
+// Usage:
+//
+//	marl-actor -replay-addr 127.0.0.1:9300 -env cn -agents 3 -actor-id actor-0 -episodes 500
+//
+// Transitions ship in batches carrying the actor ID and a monotonic
+// sequence number, so a retried append that already landed is deduplicated
+// server-side rather than doubling experience. The actor acts with its
+// (optionally -load-ed) policy plus the usual exploration noise; it never
+// runs updates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"marlperf"
+	"marlperf/internal/expserve"
+	"marlperf/internal/replay"
+)
+
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		replayAddr = flag.String("replay-addr", "127.0.0.1:9300", "experience service address (marl-replayd)")
+		actorID    = flag.String("actor-id", "actor-0", "unique id for this actor's idempotent append stream")
+		envName    = flag.String("env", "cn", "environment: pp, cn or pd (must match the service)")
+		agents     = flag.Int("agents", 3, "number of trainable agents (must match the service)")
+		algoName   = flag.String("algo", "maddpg", "algorithm whose policy network acts: maddpg or matd3")
+		episodes   = flag.Int("episodes", 100, "episodes to collect")
+		seed       = flag.Int64("seed", 1, "RNG seed (give each actor its own)")
+		loadPath   = flag.String("load", "", "act with this policy checkpoint instead of a fresh one")
+		batchRows  = flag.Int("batch-rows", 512, "transitions per shipped append batch")
+		logEvery   = flag.Int("log-every", 20, "episodes between progress lines")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-actor [flags]
+
+Collects environment experience and streams it to an experience service.
+Appends are idempotent per (actor-id, batch sequence) and retried with
+jittered backoff when the service answers 429, so a fleet of actors
+degrades gracefully under ingest backpressure instead of losing or
+doubling data.
+
+Exit codes:
+  0  collection completed
+  1  runtime failure (environment, service unreachable after retries)
+  2  bad command line
+  3  interrupted by SIGINT/SIGTERM; buffered transitions were flushed
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var env marlperf.Env
+	switch *envName {
+	case "pp":
+		env = marlperf.NewPredatorPrey(*agents)
+	case "cn":
+		env = marlperf.NewCooperativeNavigation(*agents)
+	case "pd":
+		env = marlperf.NewPhysicalDeception(*agents)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown env %q (want pp, cn or pd)\n", *envName)
+		return exitUsage
+	}
+	algo := marlperf.MADDPG
+	if *algoName == "matd3" {
+		algo = marlperf.MATD3
+	} else if *algoName != "maddpg" {
+		fmt.Fprintf(os.Stderr, "unknown algo %q (want maddpg or matd3)\n", *algoName)
+		return exitUsage
+	}
+
+	cfg := marlperf.DefaultConfig(algo)
+	cfg.Seed = *seed
+	// A pure actor never updates: the local buffer can never reach an
+	// unreachable warmup size, so Step only interacts and publishes.
+	cfg.WarmupSize = math.MaxInt
+	spec := replay.Spec{
+		NumAgents: env.NumAgents(),
+		ObsDims:   env.ObsDims(),
+		ActDim:    env.NumActions(),
+		Capacity:  cfg.BufferCapacity,
+	}
+
+	client := expserve.NewClient(*replayAddr, expserve.ClientOptions{})
+	sink, err := expserve.NewRemoteSink(client, *actorID, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	sink.MaxBatchRows = *batchRows
+	// Fail fast (and validate the shape) before collecting anything.
+	serverSpec, _, _, err := client.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experience service unreachable:", err)
+		return exitError
+	}
+	if serverSpec.NumAgents != spec.NumAgents || serverSpec.ActDim != spec.ActDim {
+		fmt.Fprintf(os.Stderr, "service shape mismatch: it stores %d agents × %d actions, this env has %d × %d\n",
+			serverSpec.NumAgents, serverSpec.ActDim, spec.NumAgents, spec.ActDim)
+		return exitUsage
+	}
+
+	tr, err := marlperf.NewTrainer(cfg, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	defer tr.Close()
+	if err := tr.SetExperienceService(nil, sink); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		loadErr := tr.LoadCheckpoint(f)
+		f.Close()
+		if loadErr != nil {
+			fmt.Fprintln(os.Stderr, "loading checkpoint:", loadErr)
+			return exitError
+		}
+		fmt.Printf("acting with policy from %s\n", *loadPath)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	fmt.Printf("collecting %d episodes on %s with %d agents as %q -> %s\n",
+		*episodes, env.Name(), *agents, *actorID, *replayAddr)
+	start := time.Now()
+	completed := 0
+	interrupted := false
+	for completed < *episodes && !interrupted {
+		done, err := tr.StepE()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "publishing experience:", err)
+			return exitError
+		}
+		if !done {
+			continue
+		}
+		completed++
+		if completed%*logEvery == 0 {
+			fmt.Printf("episode %6d  reward %10.2f  steps %d  elapsed %v\n",
+				completed, tr.LastEpisodeReward(), tr.TotalSteps(), time.Since(start).Round(time.Millisecond))
+		}
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "\n%v: flushing and stopping\n", sig)
+			interrupted = true
+		default:
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "final flush:", err)
+		return exitError
+	}
+	fmt.Printf("done: %d episodes, %d transitions published in %v\n",
+		completed, tr.TotalSteps(), time.Since(start).Round(time.Millisecond))
+	if interrupted {
+		return exitInterrupted
+	}
+	return exitOK
+}

@@ -1,0 +1,161 @@
+// Command marl-replayd runs the experience service: a segment-packed
+// persistent replay store behind the append/sample/stats HTTP API that
+// marl-actor publishes into and marl-train -replay-addr samples from.
+//
+// Usage:
+//
+//	marl-replayd -addr 127.0.0.1:9300 -dir /var/lib/marl/replay -env cn -agents 3
+//
+// The transition shape is fixed by the environment (-env, -agents) so
+// every connecting actor and learner is validated against it. With -dir
+// the store is durable: rows are packed into CRC-framed segment files,
+// a restart recovers every acknowledged row (a torn tail from a crash
+// mid-write is truncated away), and -capacity bounds the retained window
+// like a ring buffer, retiring whole dead segments. Without -dir the
+// store is a volatile in-memory ring with identical semantics.
+//
+// The same address also serves /metrics (Prometheus text exposition of
+// the marl_exp_* ingest/sample/occupancy series) and /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"marlperf"
+	"marlperf/internal/expserve"
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9300", "address to serve the experience API, /metrics and /healthz on")
+		dir      = flag.String("dir", "", "segment directory for the persistent store (empty: volatile in-memory ring)")
+		envName  = flag.String("env", "cn", "environment fixing the transition shape: pp, cn or pd")
+		agents   = flag.Int("agents", 3, "number of trainable agents")
+		capacity = flag.Int("capacity", 100_000, "retained transition window (ring semantics; dead segments are retired)")
+		segRows  = flag.Int("segment-rows", expstore.DefaultSegmentRows, "rows per segment file before rotation")
+		queue    = flag.Int("queue-depth", 64, "ingest queue depth in batches; a full queue answers 429")
+		maxRows  = flag.Int("max-sample-rows", 4096, "largest mini-batch one sample request may ask for")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-replayd [flags]
+
+Serves the experience service for a networked actor/learner split:
+POST /v1/append ingests CRC-framed transition batches (idempotent per
+actor sequence number, bounded queue, 429 backpressure), POST /v1/sample
+executes seeded uniform or locality sampling server-side over the packed
+rows, GET /v1/stats reports the spec and occupancy. /metrics exposes the
+marl_exp_* series; /healthz reports liveness.
+
+Every acknowledged append is flushed to the store first, so with -dir a
+kill -9 loses nothing an actor saw acknowledged.
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var env marlperf.Env
+	switch *envName {
+	case "pp":
+		env = marlperf.NewPredatorPrey(*agents)
+	case "cn":
+		env = marlperf.NewCooperativeNavigation(*agents)
+	case "pd":
+		env = marlperf.NewPhysicalDeception(*agents)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown env %q (want pp, cn or pd)\n", *envName)
+		return exitUsage
+	}
+	spec := replay.Spec{
+		NumAgents: env.NumAgents(),
+		ObsDims:   env.ObsDims(),
+		ActDim:    env.NumActions(),
+		Capacity:  *capacity,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+
+	var provider expstore.Provider
+	if *dir != "" {
+		store, err := expstore.Open(*dir, spec, expstore.Options{SegmentRows: *segRows})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opening store:", err)
+			return exitError
+		}
+		defer store.Close()
+		provider = store
+		fmt.Printf("store: %s (recovered %d rows, %d total ever appended)\n",
+			*dir, store.RowCount(), store.Total())
+	} else {
+		provider = expstore.NewRing(spec)
+		fmt.Println("store: volatile in-memory ring (no -dir)")
+	}
+
+	registry := telemetry.NewRegistry()
+	srv, err := expserve.NewServer(expserve.ServerConfig{
+		Provider:      provider,
+		Spec:          spec,
+		QueueDepth:    *queue,
+		MaxSampleRows: *maxRows,
+		Registry:      registry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ExpositionContentType)
+		_ = registry.WriteExposition(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	fmt.Printf("experience service: %s agents=%d stride=%d capacity=%d\n",
+		env.Name(), spec.NumAgents, replay.NewRowLayout(spec).Stride(), spec.Capacity)
+	fmt.Printf("serving /v1/append /v1/sample /v1/stats /metrics on http://%s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "\n%v: shutting down\n", sig)
+		hs.Close()
+		return exitOK
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		return exitOK
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"marlperf"
 	"marlperf/internal/core"
+	"marlperf/internal/expserve"
 	"marlperf/internal/mpe"
 	"marlperf/internal/plot"
 	"marlperf/internal/profiler"
@@ -66,6 +67,9 @@ func run() int {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /profilez, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
 
+		replayAddr = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
+		actorID    = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
+
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for crash-safe snapshot generations (enables resumable runs)")
 		checkpointEvery = flag.Int("checkpoint-every", 25, "episodes between periodic snapshots (0: only the final one)")
 		resume          = flag.Bool("resume", false, "resume from the newest intact snapshot in -checkpoint-dir")
@@ -79,6 +83,12 @@ Trains one MARL configuration end to end and reports reward progress plus
 the phase-time breakdown. With -checkpoint-dir the run is resumable: it
 writes CRC-protected snapshot generations atomically and -resume restarts
 from the newest intact one, skipping truncated or corrupt generations.
+
+With -replay-addr the learner samples from (and publishes to) a remote
+experience service (marl-replayd) instead of its in-process buffer. For a
+single learner and a fixed seed this trains bit-identically to the local
+run, because sampling is a pure function of (plan, length, seed) on
+either side.
 
 With -metrics-addr the run is observable live: /metrics serves Prometheus
 text exposition (per-phase latency histograms, event counters, run gauges),
@@ -143,6 +153,10 @@ Flags:
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
 		return exitUsage
 	}
+	if *replayAddr != "" && (*resume || *loadPath != "") {
+		fmt.Fprintln(os.Stderr, "-replay-addr starts a fresh run; it cannot be combined with -resume or -load")
+		return exitUsage
+	}
 	if *checkpointDir != "" && *retain < 1 {
 		fmt.Fprintf(os.Stderr, "-retain %d: want ≥1\n", *retain)
 		return exitUsage
@@ -154,6 +168,14 @@ Flags:
 		return exitError
 	}
 	defer tr.Close()
+	if *replayAddr != "" {
+		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		fmt.Printf("experience service: sampling and publishing via %s (plan=%s, actor-id=%s)\n",
+			*replayAddr, *sampler, *actorID)
+	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
@@ -221,7 +243,12 @@ Flags:
 	completed := 0
 	interrupted := false
 	for completed < *episodes && !interrupted {
-		if !tr.Step() {
+		done, err := tr.StepE()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experience service:", err)
+			return exitError
+		}
+		if !done {
 			continue
 		}
 		completed++
@@ -298,6 +325,36 @@ Flags:
 		return exitInterrupted
 	}
 	return exitOK
+}
+
+// wireExperienceService connects the trainer to a remote experience
+// service for both halves of the split: mini-batches are sampled
+// server-side with the trainer's per-batch seeds (bit-identical to the
+// in-process sampler of the same name for the same collected rows), and
+// everything this learner collects itself is published back under
+// actorID so the service's row count gates updates exactly as a local
+// buffer would.
+func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string) error {
+	plan, err := cfg.SamplePlan()
+	if err != nil {
+		return err
+	}
+	spec := replay.Spec{
+		NumAgents: env.NumAgents(),
+		ObsDims:   env.ObsDims(),
+		ActDim:    env.NumActions(),
+		Capacity:  cfg.BufferCapacity,
+	}
+	client := expserve.NewClient(addr, expserve.ClientOptions{})
+	src, err := expserve.NewRemoteSource(client, spec, plan)
+	if err != nil {
+		return err
+	}
+	sink, err := expserve.NewRemoteSink(client, actorID, spec)
+	if err != nil {
+		return err
+	}
+	return tr.SetExperienceService(src, sink)
 }
 
 // resumeFromStore restores trainer, replay experience and RNG state from the

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"marlperf/internal/expserve"
+	"marlperf/internal/expstore"
+	"marlperf/internal/mpe"
+	"marlperf/internal/replay"
+)
+
+func expConfig(sampler SamplerKind) Config {
+	cfg := DefaultConfig(MADDPG)
+	cfg.BatchSize = 32
+	cfg.BufferCapacity = 512
+	cfg.UpdateEvery = 20
+	cfg.HiddenSize = 16
+	cfg.MaxEpisodeLen = 25
+	cfg.Sampler = sampler
+	cfg.Neighbors = 8
+	cfg.Refs = 4
+	cfg.UpdateWorkers = 1
+	cfg.Seed = 21
+	return cfg
+}
+
+func expSpec(cfg Config, env mpe.Env) replay.Spec {
+	return replay.Spec{
+		NumAgents: env.NumAgents(),
+		ObsDims:   env.ObsDims(),
+		ActDim:    env.NumActions(),
+		Capacity:  cfg.BufferCapacity,
+	}
+}
+
+// runServiceTrainer trains episodes episodes against the given experience
+// source/sink and returns the final checkpoint bytes (weights, optimizer
+// state, RNG streams — the full bit-identity witness).
+func runServiceTrainer(t *testing.T, cfg Config, src replay.TransitionSource, sink replay.TransitionSink, episodes int) ([]byte, *Trainer) {
+	t.Helper()
+	tr, err := NewTrainer(cfg, mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetExperienceService(src, sink); err != nil {
+		t.Fatal(err)
+	}
+	for completed := 0; completed < episodes; {
+		done, err := tr.StepE()
+		if err != nil {
+			t.Fatalf("StepE: %v", err)
+		}
+		if done {
+			completed++
+		}
+	}
+	return checkpointBytes(t, tr), tr
+}
+
+// The single-actor fixed-seed determinism contract of the actor/learner
+// split: a trainer feeding and sampling a REMOTE experience service (real
+// HTTP server, segment-packed store on disk) must train bit-identically to
+// one wired to a local in-process store — same insertion order, same
+// per-batch seeds, same plan, therefore the same batches and the same
+// weights.
+func TestRemoteExperienceTrainingMatchesLocal(t *testing.T) {
+	for _, sampler := range []SamplerKind{SamplerUniform, SamplerLocality} {
+		t.Run(sampler.String(), func(t *testing.T) {
+			cfg := expConfig(sampler)
+			env := mpe.NewCooperativeNavigation(2)
+			spec := expSpec(cfg, env)
+			plan, err := cfg.SamplePlan()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Local: in-process ring store.
+			localSrc, err := expstore.NewSource(expstore.NewRing(spec), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			localCkpt, localTr := runServiceTrainer(t, cfg, localSrc, localSrc, 4)
+			defer localTr.Close()
+
+			// Remote: persistent segment store behind a real HTTP server.
+			store, err := expstore.Open(t.TempDir(), spec, expstore.Options{SegmentRows: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+			srv, err := expserve.NewServer(expserve.ServerConfig{Provider: store, Spec: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs := httptest.NewServer(srv)
+			defer func() { hs.Close(); srv.Close() }()
+			client := expserve.NewClient(hs.URL, expserve.ClientOptions{Timeout: 10 * time.Second, JitterSeed: 1})
+			remoteSrc, err := expserve.NewRemoteSource(client, spec, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remoteSink, err := expserve.NewRemoteSink(client, "actor-0", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remoteCkpt, remoteTr := runServiceTrainer(t, cfg, remoteSrc, remoteSink, 4)
+			defer remoteTr.Close()
+
+			if localTr.UpdateCount() == 0 {
+				t.Fatal("no updates ran; the determinism check is vacuous")
+			}
+			if localTr.UpdateCount() != remoteTr.UpdateCount() {
+				t.Fatalf("update counts diverge: local %d, remote %d", localTr.UpdateCount(), remoteTr.UpdateCount())
+			}
+			if !bytes.Equal(localCkpt, remoteCkpt) {
+				t.Fatalf("remote-fed training diverged from local: checkpoints differ (%d vs %d bytes)", len(localCkpt), len(remoteCkpt))
+			}
+		})
+	}
+}
+
+// The determinism contract must hold across the parallel update engine too:
+// worker count is a pure throughput knob in service mode exactly as it is
+// locally.
+func TestRemoteExperienceDeterministicAcrossWorkers(t *testing.T) {
+	cfg := expConfig(SamplerLocality)
+	env := mpe.NewCooperativeNavigation(2)
+	spec := expSpec(cfg, env)
+	plan, err := cfg.SamplePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts [][]byte
+	for _, workers := range []int{1, 3} {
+		c := cfg
+		c.UpdateWorkers = workers
+		src, err := expstore.NewSource(expstore.NewRing(spec), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt, tr := runServiceTrainer(t, c, src, src, 3)
+		tr.Close()
+		ckpts = append(ckpts, ckpt)
+	}
+	if !bytes.Equal(ckpts[0], ckpts[1]) {
+		t.Fatal("experience-service training differs across UpdateWorkers")
+	}
+}
+
+func TestSetExperienceServiceRejectsStatefulSamplers(t *testing.T) {
+	cfg := expConfig(SamplerPER)
+	env := mpe.NewCooperativeNavigation(2)
+	tr, err := NewTrainer(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	spec := expSpec(cfg, env)
+	src, err := expstore.NewSource(expstore.NewRing(spec), replay.SamplePlan{Strategy: replay.PlanUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetExperienceService(src, src); err == nil {
+		t.Fatal("PER sampler accepted with an experience source")
+	}
+}
+
+func TestSetExperienceServiceRejectsMidRun(t *testing.T) {
+	cfg := expConfig(SamplerUniform)
+	tr, err := NewTrainer(cfg, mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Warmup(3)
+	spec := expSpec(cfg, mpe.NewCooperativeNavigation(2))
+	src, err := expstore.NewSource(expstore.NewRing(spec), replay.SamplePlan{Strategy: replay.PlanUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetExperienceService(src, src); err == nil {
+		t.Fatal("rewiring after training started was accepted")
+	}
+}
+
+func TestConfigSamplePlanMapping(t *testing.T) {
+	for _, c := range []struct {
+		sampler SamplerKind
+		ok      bool
+	}{
+		{SamplerUniform, true},
+		{SamplerLocality, true},
+		{SamplerPER, false},
+		{SamplerIPLocality, false},
+		{SamplerRankPER, false},
+		{SamplerEpisodeLocality, false},
+	} {
+		cfg := expConfig(c.sampler)
+		plan, err := cfg.SamplePlan()
+		if (err == nil) != c.ok {
+			t.Errorf("SamplePlan(%v) = %v, %v; want ok=%v", c.sampler, plan, err, c.ok)
+		}
+		if err == nil {
+			if verr := plan.Validate(); verr != nil {
+				t.Errorf("SamplePlan(%v) produced invalid plan: %v", c.sampler, verr)
+			}
+		}
+	}
+}
+
+// StepE surfaces a broken service as an error, not a panic or a silent
+// stall.
+func TestStepESurfacesServiceFailure(t *testing.T) {
+	cfg := expConfig(SamplerUniform)
+	tr, err := NewTrainer(cfg, mpe.NewCooperativeNavigation(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.SetExperienceService(brokenSource{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := 0; i < cfg.UpdateEvery+1 && sawErr == nil; i++ {
+		_, sawErr = tr.StepE()
+	}
+	if sawErr == nil {
+		t.Fatal("broken experience service never surfaced an error")
+	}
+}
+
+type brokenSource struct{}
+
+func (brokenSource) Len() (int, error) { return 0, fmt.Errorf("service unreachable") }
+func (brokenSource) SampleBatch(int, int64, []*replay.AgentBatch) ([]int, error) {
+	return nil, fmt.Errorf("service unreachable")
+}

@@ -39,6 +39,14 @@ type Trainer struct {
 	sampler replay.Sampler
 	prof    *profiler.Profile
 
+	// Experience service wiring (see SetExperienceService). When expSource
+	// is set, mini-batches come from it instead of the in-process sampler;
+	// when expSink is set, every collected transition is also published.
+	expSource replay.TransitionSource
+	expSink   replay.TransitionSink
+	expErrMu  sync.Mutex
+	expErr    error
+
 	// Episode state.
 	obs           [][]float64
 	epStep        int
@@ -285,15 +293,39 @@ func (t *Trainer) Close() {
 
 // Step advances the environment by one step (action selection, env
 // interaction, replay add) and runs update-all-trainers when due. It
-// returns true if an episode completed on this step.
+// returns true if an episode completed on this step. Experience-service
+// failures (a remote source past its retry budget) panic; use StepE to
+// handle them.
 func (t *Trainer) Step() bool {
-	done := t.interact(true)
-	t.sinceUpdate++
-	if t.sinceUpdate >= t.cfg.UpdateEvery && t.buf.Len() >= t.cfg.WarmupSize {
-		t.sinceUpdate = 0
-		t.UpdateAllTrainers()
+	done, err := t.StepE()
+	if err != nil {
+		panic(err)
 	}
 	return done
+}
+
+// StepE is Step with experience-service errors surfaced instead of
+// panicking. Trainers without a remote source never return an error.
+func (t *Trainer) StepE() (bool, error) {
+	done := t.interact(true)
+	if err := t.ExperienceErr(); err != nil {
+		return done, err
+	}
+	t.sinceUpdate++
+	if t.sinceUpdate >= t.cfg.UpdateEvery {
+		ready, err := t.updateReady()
+		if err != nil {
+			return done, err
+		}
+		if ready {
+			t.sinceUpdate = 0
+			t.UpdateAllTrainers()
+			if err := t.ExperienceErr(); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
 }
 
 // Warmup runs env steps without any training updates, pre-filling the
@@ -376,6 +408,19 @@ func (t *Trainer) interact(timed bool) bool {
 			t.prof.Stop(profiler.PhaseLayoutReorg)
 		}
 	}
+	if t.expSink != nil {
+		// Publish to the experience service in collection order. Sinks may
+		// buffer; the update gate flushes before counting rows.
+		if timed {
+			t.prof.Start(profiler.PhaseReplayAdd)
+		}
+		if err := t.expSink.Add(t.obs, t.actionProbs, rewards, nextObs, t.dones); err != nil {
+			t.setExpErr(err)
+		}
+		if timed {
+			t.prof.Stop(profiler.PhaseReplayAdd)
+		}
+	}
 
 	if episodeDone {
 		t.lastEpReward = t.epRewardSum
@@ -436,7 +481,7 @@ func (t *Trainer) updateWorkerLoop(s *updateScratch) {
 // cross-agent reads (target actors, replay storage, sum trees) are frozen
 // for the duration of the parallel window.
 func (t *Trainer) UpdateAllTrainers() {
-	if t.buf.Len() < 1 {
+	if t.expSource == nil && t.buf.Len() < 1 {
 		panic("core: update with empty replay buffer")
 	}
 	t.updateCount++
@@ -527,11 +572,25 @@ func (t *Trainer) UpdateAllTrainers() {
 func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
 	// ---- Mini-batch sampling phase ----
 	s.prof.Start(profiler.PhaseSampling)
-	t.sampler.SampleInto(&s.sample, t.cfg.BatchSize, t.agentRNGs[i])
-	if t.cfg.UseKVLayout {
-		t.kv.GatherAll(s.sample.Indices, s.batches)
+	if t.expSource != nil {
+		// Experience-service path: one seed per mini-batch from agent i's
+		// stream; the source (local store or remote service) derives the
+		// index set from it. The single Int63 draw replaces the in-process
+		// sampler's RNG consumption in both local and remote mode, which is
+		// what keeps the two bit-identical.
+		seed := t.agentRNGs[i].Int63()
+		if _, err := t.expSource.SampleBatch(t.cfg.BatchSize, seed, s.batches); err != nil {
+			t.setExpErr(fmt.Errorf("core: agent %d mini-batch: %w", i, err))
+			s.prof.Stop(profiler.PhaseSampling)
+			return
+		}
 	} else {
-		t.buf.GatherAll(s.sample.Indices, s.batches)
+		t.sampler.SampleInto(&s.sample, t.cfg.BatchSize, t.agentRNGs[i])
+		if t.cfg.UseKVLayout {
+			t.kv.GatherAll(s.sample.Indices, s.batches)
+		} else {
+			t.buf.GatherAll(s.sample.Indices, s.batches)
+		}
 	}
 	s.prof.Stop(profiler.PhaseSampling)
 

@@ -1,0 +1,293 @@
+package expserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"marlperf/internal/replay"
+)
+
+// ClientOptions tune transport behaviour.
+type ClientOptions struct {
+	// Timeout bounds one HTTP round trip. Defaults to 10s.
+	Timeout time.Duration
+	// Attempts is the total tries per request (≥1). Defaults to 4.
+	Attempts int
+	// BaseDelay seeds the exponential backoff between tries; each retry
+	// doubles it and adds up to 50% random jitter so a fleet of actors
+	// bounced by a 429 does not re-arrive in lockstep. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 2s.
+	MaxDelay time.Duration
+	// JitterSeed seeds the backoff jitter RNG (0 uses a time-derived seed).
+	// Jitter never influences payload bytes, only retry spacing.
+	JitterSeed int64
+}
+
+// Client talks to an experience server. Safe for sequential use; wrap with
+// external locking (or use one per goroutine) for concurrency.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts ClientOptions
+	rng  *rand.Rand
+
+	// sleep is the backoff delay function; tests may replace it.
+	sleep func(time.Duration)
+}
+
+// NewClient targets baseURL (e.g. "http://127.0.0.1:9300" or a bare
+// "host:port").
+func NewClient(baseURL string, opts ClientOptions) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Attempts < 1 {
+		opts.Attempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 50 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Second
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{Timeout: opts.Timeout},
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(seed)),
+		sleep: time.Sleep,
+	}
+}
+
+// retryable reports whether a response status is worth retrying: the
+// server's explicit backpressure signal plus transient server-side errors.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// do runs one request with retries and jittered exponential backoff,
+// returning the response body of the first success. Transport errors and
+// retryable statuses back off; other statuses fail immediately with the
+// server's message.
+func (c *Client) do(method, path string, contentType string, body []byte) ([]byte, error) {
+	var lastErr error
+	delay := c.opts.BaseDelay
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				lastErr = fmt.Errorf("expserve: reading %s response: %w", path, rerr)
+			case resp.StatusCode == http.StatusOK:
+				return data, nil
+			case retryable(resp.StatusCode):
+				lastErr = fmt.Errorf("expserve: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+			default:
+				return nil, fmt.Errorf("expserve: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+			}
+		} else {
+			lastErr = fmt.Errorf("expserve: %s: %w", path, err)
+		}
+		if attempt >= c.opts.Attempts {
+			return nil, lastErr
+		}
+		jittered := delay + time.Duration(c.rng.Int63n(int64(delay)/2+1))
+		c.sleep(jittered)
+		delay *= 2
+		if delay > c.opts.MaxDelay {
+			delay = c.opts.MaxDelay
+		}
+	}
+}
+
+// Stats fetches the server's spec and occupancy.
+func (c *Client) Stats() (replay.Spec, int, uint64, error) {
+	data, err := c.do(http.MethodGet, PathStats, "", nil)
+	if err != nil {
+		return replay.Spec{}, 0, 0, err
+	}
+	var reply statsReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return replay.Spec{}, 0, 0, fmt.Errorf("expserve: decoding stats: %w", err)
+	}
+	return reply.Spec.spec(), reply.Store.Rows, reply.Store.Total, nil
+}
+
+// RemoteSource samples mini-batches from an experience server, implementing
+// replay.TransitionSource. Because the server executes the same pure
+// (plan, length, seed) index selection a local expstore.Source would, a
+// learner wired to a RemoteSource trains bit-identically to one holding the
+// rows in process.
+//
+// Len and SampleBatch are safe for concurrent use across update workers:
+// calls serialize on an internal lock around the shared client and scratch.
+// Draw order cannot affect results — every batch is a pure function of its
+// own (n, seed).
+type RemoteSource struct {
+	c      *Client
+	plan   replay.SamplePlan
+	layout replay.RowLayout
+
+	mu         sync.Mutex
+	idxScratch []int
+	rowScratch []float64
+}
+
+// NewRemoteSource validates the plan, fetches the server's spec, checks it
+// against the expected one, and returns a source.
+func NewRemoteSource(c *Client, want replay.Spec, plan replay.SamplePlan) (*RemoteSource, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	got, _, _, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	if got.NumAgents != want.NumAgents || got.ActDim != want.ActDim || len(got.ObsDims) != len(want.ObsDims) {
+		return nil, fmt.Errorf("expserve: server spec %+v does not match trainer spec %+v", got, want)
+	}
+	for a, od := range want.ObsDims {
+		if got.ObsDims[a] != od {
+			return nil, fmt.Errorf("expserve: server obs dim %d for agent %d, trainer wants %d", got.ObsDims[a], a, od)
+		}
+	}
+	return &RemoteSource{c: c, plan: plan, layout: replay.NewRowLayout(want)}, nil
+}
+
+// Plan returns the plan executed server-side on every SampleBatch.
+func (s *RemoteSource) Plan() replay.SamplePlan { return s.plan }
+
+// Len implements replay.TransitionSource via the stats endpoint.
+func (s *RemoteSource) Len() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, rows, _, err := s.c.Stats()
+	return rows, err
+}
+
+// SampleBatch implements replay.TransitionSource: one server-side plan
+// execution, decoded and split into per-agent tensors. The returned index
+// slice aliases internal scratch and is valid only until the next
+// SampleBatch on this source; dst is fully written before return.
+func (s *RemoteSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reqBody, err := json.Marshal(sampleRequest{N: n, Seed: seed, Plan: s.plan})
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.c.do(http.MethodPost, PathSample, "application/json", reqBody)
+	if err != nil {
+		return nil, err
+	}
+	stride := s.layout.Stride()
+	if cap(s.idxScratch) < n {
+		s.idxScratch = make([]int, n)
+		s.rowScratch = make([]float64, n*stride)
+	}
+	idx := s.idxScratch[:n]
+	rows := s.rowScratch[:n*stride]
+	if err := decodeSampleReply(data, n, stride, idx, rows); err != nil {
+		return nil, err
+	}
+	s.layout.SplitRows(rows, n, dst)
+	return idx, nil
+}
+
+// RemoteSink buffers transitions locally and ships them to the server in
+// batches, implementing replay.TransitionSink. Each shipped batch carries
+// the sink's actor ID and a monotonic sequence number, so a retried append
+// that already landed is acknowledged as a duplicate instead of doubling
+// experience.
+type RemoteSink struct {
+	c       *Client
+	actorID string
+	layout  replay.RowLayout
+
+	// MaxBatchRows triggers an automatic Flush when the local buffer
+	// reaches it. Defaults to 512.
+	MaxBatchRows int
+
+	batchSeq uint64
+	buf      []float64
+	n        int
+	encBuf   []byte
+}
+
+// NewRemoteSink creates a sink publishing as actorID.
+func NewRemoteSink(c *Client, actorID string, spec replay.Spec) (*RemoteSink, error) {
+	if actorID == "" || len(actorID) > 256 {
+		return nil, fmt.Errorf("expserve: actor id must be 1..256 bytes")
+	}
+	return &RemoteSink{c: c, actorID: actorID, layout: replay.NewRowLayout(spec), MaxBatchRows: 512}, nil
+}
+
+// Add implements replay.TransitionSink: pack locally, auto-flushing at
+// MaxBatchRows.
+func (s *RemoteSink) Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) error {
+	stride := s.layout.Stride()
+	need := (s.n + 1) * stride
+	if cap(s.buf) < need {
+		grown := make([]float64, need*2)
+		copy(grown, s.buf[:s.n*stride])
+		s.buf = grown
+	}
+	s.buf = s.buf[:cap(s.buf)]
+	s.layout.PackRow(s.buf[s.n*stride:(s.n+1)*stride], obs, act, rew, nextObs, done)
+	s.n++
+	if s.n >= s.MaxBatchRows {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush implements replay.TransitionSink: ship the buffered rows as one
+// idempotent append batch and wait for the server's ack (which implies the
+// store accepted and flushed them).
+func (s *RemoteSink) Flush() error {
+	if s.n == 0 {
+		return nil
+	}
+	s.batchSeq++
+	batch := appendBatch{ActorID: s.actorID, BatchSeq: s.batchSeq, Rows: s.buf, N: s.n}
+	s.encBuf = encodeAppend(s.encBuf[:0], batch, s.layout.Stride())
+	data, err := s.c.do(http.MethodPost, PathAppend, "application/octet-stream", s.encBuf)
+	if err != nil {
+		return err
+	}
+	var reply appendReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return fmt.Errorf("expserve: decoding append ack: %w", err)
+	}
+	s.n = 0
+	return nil
+}
+
+var (
+	_ replay.TransitionSource = (*RemoteSource)(nil)
+	_ replay.TransitionSink   = (*RemoteSink)(nil)
+)

@@ -1,0 +1,347 @@
+package expserve
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+)
+
+func testSpec(capacity int) replay.Spec {
+	return replay.Spec{NumAgents: 2, ObsDims: []int{3, 4}, ActDim: 2, Capacity: capacity}
+}
+
+// step produces one deterministic environment step for the spec.
+func step(rng *rand.Rand) (obs, act [][]float64, rew []float64, nxt [][]float64, done []float64) {
+	vec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	obs = [][]float64{vec(3), vec(4)}
+	act = [][]float64{vec(2), vec(2)}
+	nxt = [][]float64{vec(3), vec(4)}
+	rew = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	done = []float64{0, float64(rng.Intn(2))}
+	return
+}
+
+func newTestServer(t *testing.T, spec replay.Spec, reg *telemetry.Registry) (*Server, *httptest.Server) {
+	t.Helper()
+	ring := expstore.NewRing(spec)
+	srv, err := NewServer(ServerConfig{Provider: ring, Spec: spec, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs
+}
+
+func fastClient(url string) *Client {
+	c := NewClient(url, ClientOptions{Timeout: 5 * time.Second, Attempts: 4, BaseDelay: time.Millisecond, JitterSeed: 1})
+	return c
+}
+
+// The central equivalence property: rows shipped through the sink and
+// sampled through the remote source must match, bit for bit, a local
+// expstore.Source fed the same rows in the same order with the same plan
+// and seed.
+func TestRemoteMatchesLocalBitForBit(t *testing.T) {
+	spec := testSpec(256)
+	for _, plan := range []replay.SamplePlan{
+		{Strategy: replay.PlanUniform},
+		{Strategy: replay.PlanLocality, Neighbors: 8, Refs: 4},
+	} {
+		_, hs := newTestServer(t, spec, nil)
+		c := fastClient(hs.URL)
+		sink, err := NewRemoteSink(c, "actor-0", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		localRing := expstore.NewRing(spec)
+		local, err := expstore.NewSource(localRing, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rngA := rand.New(rand.NewSource(3))
+		rngB := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ { // wraps the 256-row window
+			obs, act, rew, nxt, done := step(rngA)
+			if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+				t.Fatal(err)
+			}
+			obs, act, rew, nxt, done = step(rngB)
+			if err := local.Add(obs, act, rew, nxt, done); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		remote, err := NewRemoteSource(c, spec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nRemote, err := remote.Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nLocal, _ := local.Len()
+		if nRemote != nLocal || nRemote != 256 {
+			t.Fatalf("plan %v: remote Len %d, local Len %d, want 256", plan, nRemote, nLocal)
+		}
+
+		const batch = 32
+		for trial := 0; trial < 5; trial++ {
+			seed := int64(1000 + trial)
+			dstR := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+			dstL := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+			idxR, err := remote.SampleBatch(batch, seed, dstR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idxL, err := local.SampleBatch(batch, seed, dstL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range idxR {
+				if idxR[i] != idxL[i] {
+					t.Fatalf("plan %v seed %d: index %d differs: remote %d local %d", plan, seed, i, idxR[i], idxL[i])
+				}
+			}
+			for a := 0; a < 2; a++ {
+				for i := range dstR[a].Obs.Data {
+					if dstR[a].Obs.Data[i] != dstL[a].Obs.Data[i] {
+						t.Fatalf("plan %v seed %d: agent %d obs diverges", plan, seed, a)
+					}
+				}
+				for i := range dstR[a].Rew.Data {
+					if dstR[a].Rew.Data[i] != dstL[a].Rew.Data[i] || dstR[a].Done.Data[i] != dstL[a].Done.Data[i] {
+						t.Fatalf("plan %v seed %d: agent %d scalars diverge", plan, seed, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAppendIsIdempotentUnderRetry(t *testing.T) {
+	spec := testSpec(128)
+	reg := telemetry.NewRegistry()
+	_, hs := newTestServer(t, spec, reg)
+
+	// A flaky proxy: fails the first attempt of every append AFTER the
+	// server has applied it, forcing the client to retry a batch that
+	// already landed.
+	var flake atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, PathAppend) && flake.CompareAndSwap(false, true) {
+			// Forward to the real server, then pretend the reply was lost.
+			req, _ := http.NewRequest(r.Method, hs.URL+r.URL.Path, r.Body)
+			req.Header = r.Header
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+			http.Error(w, "injected: ack lost", http.StatusBadGateway)
+			return
+		}
+		req, _ := http.NewRequest(r.Method, hs.URL+r.URL.Path, r.Body)
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 1<<20)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	c := fastClient(proxy.URL)
+	sink, err := NewRemoteSink(c, "actor-0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		obs, act, rew, nxt, done := step(rng)
+		if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The batch went over the wire twice but must count once.
+	if got := reg.Counter("marl_exp_ingest_rows_total").Value(); got != 10 {
+		t.Fatalf("ingested %d rows after retried batch, want 10", got)
+	}
+	if got := reg.Counter("marl_exp_ingest_dup_batches_total").Value(); got != 1 {
+		t.Fatalf("dup batches = %d, want 1", got)
+	}
+}
+
+func TestBackpressureAnswers429AndClientRetries(t *testing.T) {
+	spec := testSpec(128)
+	ring := expstore.NewRing(spec)
+	blocked := &blockingProvider{Ring: ring, gate: make(chan struct{})}
+	reg := telemetry.NewRegistry()
+	srv, err := NewServer(ServerConfig{Provider: blocked, Spec: spec, QueueDepth: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	// hs.Close waits for in-flight handlers, which wait on the writer, which
+	// waits on the gate — so the gate must open before the server closes.
+	defer hs.Close()
+	defer srv.Close()
+	defer blocked.release()
+
+	layout := replay.NewRowLayout(spec)
+	send := func(c *Client, seq uint64) error {
+		rows := make([]float64, layout.Stride())
+		body := encodeAppend(nil, appendBatch{ActorID: "a", BatchSeq: seq, Rows: rows, N: 1}, layout.Stride())
+		_, err := c.do(http.MethodPost, PathAppend, "application/octet-stream", body)
+		return err
+	}
+
+	// Occupy the writer with a batch the provider blocks on, then fill the
+	// depth-1 queue directly: the next real append must be bounced with 429.
+	one := NewClient(hs.URL, ClientOptions{Attempts: 1, Timeout: 10 * time.Second, JitterSeed: 1})
+	errc := make(chan error, 1)
+	go func() { errc <- send(one, 1) }()
+	blocked.waitBusy(t)
+	parked := ingestJob{
+		batch: appendBatch{ActorID: "b", BatchSeq: 1, Rows: make([]float64, layout.Stride()), N: 1},
+		done:  make(chan ingestResult, 1),
+	}
+	srv.queue <- parked
+
+	noRetry := NewClient(hs.URL, ClientOptions{Attempts: 1, Timeout: 5 * time.Second, JitterSeed: 3})
+	if err := send(noRetry, 2); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("append against a full queue: err = %v, want a 429", err)
+	}
+	if got := reg.Counter("marl_exp_ingest_rejected_total").Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	// A retrying client sent during the stall succeeds once the writer
+	// unblocks: the 429 is transient backpressure, not failure.
+	retrier := NewClient(hs.URL, ClientOptions{Attempts: 8, BaseDelay: 5 * time.Millisecond, Timeout: 10 * time.Second, JitterSeed: 4})
+	done := make(chan error, 1)
+	go func() { done <- send(retrier, 3) }()
+	time.Sleep(20 * time.Millisecond)
+	blocked.release()
+	if err := <-done; err != nil {
+		t.Fatalf("retrying append failed across backpressure: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("gated append failed after release: %v", err)
+	}
+	<-parked.done
+}
+
+// blockingProvider stalls the first AppendRow until released, simulating a
+// slow disk so the ingest queue fills.
+type blockingProvider struct {
+	*expstore.Ring
+	gate     chan struct{}
+	busy     atomic.Bool
+	opened   atomic.Bool
+	released sync.Once
+}
+
+func (p *blockingProvider) AppendRow(row []float64) error {
+	if p.opened.CompareAndSwap(false, true) {
+		p.busy.Store(true)
+		<-p.gate
+	}
+	return p.Ring.AppendRow(row)
+}
+
+func (p *blockingProvider) waitBusy(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.busy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the blocking batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (p *blockingProvider) release() { p.released.Do(func() { close(p.gate) }) }
+
+func TestSampleBeforeWarmupIsConflict(t *testing.T) {
+	spec := testSpec(64)
+	_, hs := newTestServer(t, spec, nil)
+	c := NewClient(hs.URL, ClientOptions{Attempts: 1, Timeout: 5 * time.Second, JitterSeed: 1})
+	src, err := NewRemoteSource(c, spec, replay.SamplePlan{Strategy: replay.PlanUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []*replay.AgentBatch{replay.NewAgentBatch(4, 3, 2), replay.NewAgentBatch(4, 4, 2)}
+	if _, err := src.SampleBatch(4, 1, dst); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("sampling an empty store: err = %v, want a 409", err)
+	}
+}
+
+func TestServerRejectsMismatchedSpec(t *testing.T) {
+	spec := testSpec(64)
+	_, hs := newTestServer(t, spec, nil)
+	c := fastClient(hs.URL)
+	other := replay.Spec{NumAgents: 2, ObsDims: []int{3, 9}, ActDim: 2, Capacity: 64}
+	if _, err := NewRemoteSource(c, other, replay.SamplePlan{Strategy: replay.PlanUniform}); err == nil {
+		t.Fatal("spec mismatch accepted")
+	}
+}
+
+func TestWireAppendRejectsCorruption(t *testing.T) {
+	spec := testSpec(16)
+	layout := replay.NewRowLayout(spec)
+	rows := make([]float64, 2*layout.Stride())
+	valid := encodeAppend(nil, appendBatch{ActorID: "a", BatchSeq: 1, Rows: rows, N: 2}, layout.Stride())
+	if _, err := decodeAppend(valid, layout.Stride()); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	for _, corrupt := range [][]byte{
+		{},
+		valid[:len(valid)/2],
+		append(append([]byte(nil), valid[:len(valid)-1]...), valid[len(valid)-1]^1),
+	} {
+		if _, err := decodeAppend(corrupt, layout.Stride()); err == nil {
+			t.Fatalf("corrupt frame of %d bytes accepted", len(corrupt))
+		}
+	}
+	mid := append([]byte(nil), valid...)
+	mid[20] ^= 0x80
+	if _, err := decodeAppend(mid, layout.Stride()); err == nil {
+		t.Fatal("bit-flipped frame accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package expserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+)
+
+// statser is implemented by providers that expose occupancy counters
+// (expstore.Store does); others get a synthesized view from RowCount.
+type statser interface {
+	Stats() expstore.Stats
+}
+
+// ServerConfig wires an experience server.
+type ServerConfig struct {
+	// Provider backs all endpoints. Required.
+	Provider expstore.Provider
+	// Spec is the transition shape; must match Provider's layout. Required.
+	Spec replay.Spec
+	// QueueDepth bounds the ingest queue in batches; a full queue rejects
+	// appends with 429 so actors back off instead of piling up unbounded
+	// memory. Defaults to 64.
+	QueueDepth int
+	// MaxSampleRows caps one sample request. Defaults to 4096.
+	MaxSampleRows int
+	// Registry receives service metrics; nil creates a private registry.
+	Registry *telemetry.Registry
+}
+
+// ingestJob is one queued append batch; done carries the synchronous ack.
+type ingestJob struct {
+	batch appendBatch
+	done  chan ingestResult
+}
+
+type ingestResult struct {
+	total uint64
+	rows  int
+	dup   bool
+	err   error
+}
+
+// Server executes the experience service: bounded-queue ingestion with a
+// single writer (per-actor arrival order is preserved and every acknowledged
+// batch is flushed — durable against process kill before the actor sees the
+// ack), and server-side seeded sampling over the packed rows.
+type Server struct {
+	cfg    ServerConfig
+	layout replay.RowLayout
+	mux    *http.ServeMux
+
+	queue chan ingestJob
+	stop  chan struct{}
+
+	// Ingest metrics.
+	ingestRows     *telemetry.Counter
+	ingestBatches  *telemetry.Counter
+	ingestDups     *telemetry.Counter
+	ingestRejected *telemetry.Counter
+	appendSeconds  *telemetry.Histogram
+	// Sample metrics.
+	sampleRequests *telemetry.Counter
+	sampleRows     *telemetry.Counter
+	sampleErrors   *telemetry.Counter
+	sampleSeconds  *telemetry.Histogram
+	// Occupancy gauges.
+	storeRows     *telemetry.Gauge
+	storeSegments *telemetry.Gauge
+}
+
+// NewServer validates cfg, registers metrics, and starts the ingest writer.
+// Close must be called to stop it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("expserve: NewServer needs a Provider")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	layout := cfg.Provider.Layout()
+	if want := replay.NewRowLayout(cfg.Spec); layout.Stride() != want.Stride() {
+		return nil, fmt.Errorf("expserve: provider stride %d does not match spec stride %d", layout.Stride(), want.Stride())
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxSampleRows <= 0 {
+		cfg.MaxSampleRows = 4096
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	reg.SetHelp("marl_exp_ingest_rows_total", "Transition rows ingested into the experience store.")
+	reg.SetHelp("marl_exp_sample_requests_total", "Sample requests served by the experience store.")
+	s := &Server{
+		cfg:    cfg,
+		layout: layout,
+		queue:  make(chan ingestJob, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+
+		ingestRows:     reg.Counter("marl_exp_ingest_rows_total"),
+		ingestBatches:  reg.Counter("marl_exp_ingest_batches_total"),
+		ingestDups:     reg.Counter("marl_exp_ingest_dup_batches_total"),
+		ingestRejected: reg.Counter("marl_exp_ingest_rejected_total"),
+		appendSeconds:  reg.Histogram("marl_exp_append_seconds", nil),
+		sampleRequests: reg.Counter("marl_exp_sample_requests_total"),
+		sampleRows:     reg.Counter("marl_exp_sample_rows_total"),
+		sampleErrors:   reg.Counter("marl_exp_sample_errors_total"),
+		sampleSeconds:  reg.Histogram("marl_exp_sample_seconds", nil),
+		storeRows:      reg.Gauge("marl_exp_store_rows"),
+		storeSegments:  reg.Gauge("marl_exp_store_segments"),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc(PathAppend, s.handleAppend)
+	s.mux.HandleFunc(PathSample, s.handleSample)
+	s.mux.HandleFunc(PathStats, s.handleStats)
+	go s.ingestLoop()
+	return s, nil
+}
+
+// Handler returns the service mux, for mounting alongside other endpoints
+// (marl-replayd serves it together with the telemetry /metrics handler).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the ingest writer. In-flight jobs are drained first so no
+// acknowledged batch is lost.
+func (s *Server) Close() error {
+	close(s.stop)
+	return nil
+}
+
+// ingestLoop is the single writer: batches apply in arrival order, each
+// acknowledged only after the store has accepted and flushed it. One writer
+// means per-actor order is trivially preserved and RowCount is exact the
+// moment an ack returns — the property the determinism contract needs.
+func (s *Server) ingestLoop() {
+	lastSeq := make(map[string]uint64)
+	for {
+		select {
+		case job := <-s.queue:
+			job.done <- s.applyBatch(lastSeq, job.batch)
+		case <-s.stop:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case job := <-s.queue:
+					job.done <- s.applyBatch(lastSeq, job.batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) applyBatch(lastSeq map[string]uint64, b appendBatch) ingestResult {
+	start := time.Now()
+	if applied, ok := lastSeq[b.ActorID]; ok && b.BatchSeq <= applied {
+		s.ingestDups.Inc()
+		return ingestResult{rows: s.cfg.Provider.RowCount(), dup: true}
+	}
+	stride := s.layout.Stride()
+	for k := 0; k < b.N; k++ {
+		if err := s.cfg.Provider.AppendRow(b.Rows[k*stride : (k+1)*stride]); err != nil {
+			return ingestResult{err: err}
+		}
+	}
+	if err := s.cfg.Provider.Flush(); err != nil {
+		return ingestResult{err: err}
+	}
+	lastSeq[b.ActorID] = b.BatchSeq
+	s.ingestBatches.Inc()
+	s.ingestRows.Add(uint64(b.N))
+	s.appendSeconds.Observe(time.Since(start).Seconds())
+	rows := s.cfg.Provider.RowCount()
+	s.updateGauges(rows)
+	var total uint64
+	if st, ok := s.cfg.Provider.(statser); ok {
+		total = st.Stats().Total
+	} else {
+		total = s.ingestRows.Value()
+	}
+	return ingestResult{total: total, rows: rows}
+}
+
+func (s *Server) updateGauges(rows int) {
+	s.storeRows.Set(float64(rows))
+	if st, ok := s.cfg.Provider.(statser); ok {
+		s.storeSegments.Set(float64(st.Stats().Segments))
+	}
+}
+
+// handleAppend ingests one actor batch. A full queue answers 429 — the
+// backpressure signal the client's jittered retry loop respects.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batch, err := decodeAppend(body, s.layout.Stride())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job := ingestJob{batch: batch, done: make(chan ingestResult, 1)}
+	select {
+	case s.queue <- job:
+	default:
+		s.ingestRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	res := <-job.done
+	if res.err != nil {
+		http.Error(w, res.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(appendReply{Total: res.total, Rows: res.rows, Dup: res.dup})
+}
+
+// handleSample executes one seeded plan server-side. Selection and gather
+// run as a single atomic provider operation, so the learner's locality runs
+// stay contiguous even while actors append concurrently.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sampleRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.N < 1 || req.N > s.cfg.MaxSampleRows {
+		http.Error(w, fmt.Sprintf("n %d outside [1,%d]", req.N, s.cfg.MaxSampleRows), http.StatusBadRequest)
+		return
+	}
+	if err := req.Plan.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	s.sampleRequests.Inc()
+	stride := s.layout.Stride()
+	idx := make([]int, req.N)
+	rows := make([]float64, req.N*stride)
+	if err := s.cfg.Provider.SamplePacked(req.Plan, req.N, req.Seed, idx, rows); err != nil {
+		s.sampleErrors.Inc()
+		// An empty/underfilled store is the learner polling before warmup,
+		// not a server fault.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.sampleRows.Add(uint64(req.N))
+	s.sampleSeconds.Observe(time.Since(start).Seconds())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(encodeSampleReply(nil, idx, rows, stride))
+}
+
+// handleStats reports the spec and occupancy as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var st expstore.Stats
+	if withStats, ok := s.cfg.Provider.(statser); ok {
+		st = withStats.Stats()
+	} else {
+		st.Rows = s.cfg.Provider.RowCount()
+		st.Total = s.ingestRows.Value()
+		st.Stride = s.layout.Stride()
+	}
+	s.updateGauges(st.Rows)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsReply{Spec: specToWire(s.cfg.Spec), Store: st})
+}
+
+// ListenAndServe is a convenience for tests and the replayd binary: bind
+// addr (port 0 picks a free port), serve the handler in the background, and
+// return the bound listener address plus a shutdown func.
+func (s *Server) ListenAndServe(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("expserve: listener: %w", err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() error {
+		err := srv.Close()
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

@@ -1,0 +1,198 @@
+// Package expserve is the networked half of the experience service: a
+// stdlib-only HTTP transport that lets actor processes stream transitions
+// into a central segment-packed store and lets a learner sample mini-batches
+// out of it. Sampling executes server-side — the seeded plan runs next to
+// the data, so the paper's locality-aware selection still streams contiguous
+// rows — and index selection being a pure function of (plan, length, seed)
+// makes remote-fed training bit-reproducible against local training.
+//
+// Wire formats: bulk row payloads travel as little-endian binary frames with
+// CRC32-IEEE trailers (float64s bit-exact, same framing idiom as the segment
+// files); small control messages are JSON.
+package expserve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+)
+
+// Endpoint paths served by Server and used by Client.
+const (
+	PathAppend = "/v1/append"
+	PathSample = "/v1/sample"
+	PathStats  = "/v1/stats"
+)
+
+const (
+	appendMagic = "MXAP"
+	sampleMagic = "MXSR"
+	wireVersion = 1
+
+	// maxWireRows bounds the row count any single frame may claim, so a
+	// hostile or corrupt header cannot demand an absurd allocation.
+	maxWireRows = 1 << 20
+)
+
+// appendBatch is one actor→server experience batch. ActorID plus the
+// per-actor monotonic BatchSeq make retries idempotent: the server remembers
+// the newest applied sequence per actor and acknowledges duplicates without
+// re-appending them.
+type appendBatch struct {
+	ActorID  string
+	BatchSeq uint64
+	Rows     []float64 // n·stride packed rows
+	N        int
+}
+
+// encodeAppend frames a batch: magic | u32 version | u32 actorLen | actor |
+// u64 batchSeq | u32 rowCount | u32 stride | rows | u32 CRC.
+func encodeAppend(dst []byte, b appendBatch, stride int) []byte {
+	start := len(dst)
+	dst = append(dst, appendMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, wireVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.ActorID)))
+	dst = append(dst, b.ActorID...)
+	dst = binary.LittleEndian.AppendUint64(dst, b.BatchSeq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.N))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(stride))
+	for _, v := range b.Rows[:b.N*stride] {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeAppend parses and verifies an append frame against the expected
+// layout stride.
+func decodeAppend(data []byte, stride int) (appendBatch, error) {
+	var b appendBatch
+	if len(data) < 4+4+4 {
+		return b, fmt.Errorf("expserve: append frame too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != appendMagic {
+		return b, fmt.Errorf("expserve: bad append magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != wireVersion {
+		return b, fmt.Errorf("expserve: append frame version %d, want %d", v, wireVersion)
+	}
+	actorLen := int(binary.LittleEndian.Uint32(data[8:]))
+	if actorLen < 1 || actorLen > 256 || len(data) < 12+actorLen+8+4+4+4 {
+		return b, fmt.Errorf("expserve: implausible append frame (actor %d bytes, frame %d)", actorLen, len(data))
+	}
+	off := 12
+	b.ActorID = string(data[off : off+actorLen])
+	off += actorLen
+	b.BatchSeq = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	gotStride := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if gotStride != stride {
+		return b, fmt.Errorf("expserve: append stride %d, store expects %d", gotStride, stride)
+	}
+	if n < 0 || n > maxWireRows || len(data) != off+8*n*stride+4 {
+		return b, fmt.Errorf("expserve: append frame claims %d rows but carries %d bytes", n, len(data))
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != want {
+		return b, fmt.Errorf("expserve: append frame checksum mismatch")
+	}
+	b.N = n
+	b.Rows = make([]float64, n*stride)
+	for i := range b.Rows {
+		b.Rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*i:]))
+	}
+	return b, nil
+}
+
+// appendReply is the server's JSON acknowledgement of an append.
+type appendReply struct {
+	Total uint64 `json:"total"` // rows ever ingested after this batch
+	Rows  int    `json:"rows"`  // sampleable rows after this batch
+	Dup   bool   `json:"dup"`   // batch was a replay of an applied sequence
+}
+
+// sampleRequest asks the server to execute one seeded plan.
+type sampleRequest struct {
+	N    int               `json:"n"`
+	Seed int64             `json:"seed"`
+	Plan replay.SamplePlan `json:"plan"`
+}
+
+// encodeSampleReply frames a sampled batch: magic | u32 version | u32 n |
+// u32 stride | n×u64 indices | n·stride×f64 rows | u32 CRC.
+func encodeSampleReply(dst []byte, idx []int, rows []float64, stride int) []byte {
+	start := len(dst)
+	dst = append(dst, sampleMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, wireVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(idx)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(stride))
+	for _, i := range idx {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(i))
+	}
+	for _, v := range rows[:len(idx)*stride] {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeSampleReply parses a sampled batch into caller-provided idx and rows
+// slices (len n and n·stride).
+func decodeSampleReply(data []byte, n, stride int, idx []int, rows []float64) error {
+	wantLen := 4 + 4 + 4 + 4 + 8*n + 8*n*stride + 4
+	if len(data) != wantLen {
+		return fmt.Errorf("expserve: sample reply %d bytes, want %d", len(data), wantLen)
+	}
+	if string(data[:4]) != sampleMagic {
+		return fmt.Errorf("expserve: bad sample magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != wireVersion {
+		return fmt.Errorf("expserve: sample reply version %d, want %d", v, wireVersion)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[8:])); got != n {
+		return fmt.Errorf("expserve: sample reply carries %d rows, want %d", got, n)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[12:])); got != stride {
+		return fmt.Errorf("expserve: sample reply stride %d, want %d", got, stride)
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != want {
+		return fmt.Errorf("expserve: sample reply checksum mismatch")
+	}
+	off := 16
+	for i := 0; i < n; i++ {
+		idx[i] = int(binary.LittleEndian.Uint64(data[off+8*i:]))
+	}
+	off += 8 * n
+	for i := range rows[:n*stride] {
+		rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*i:]))
+	}
+	return nil
+}
+
+// specWire is the JSON shape of a replay.Spec on the stats endpoint.
+type specWire struct {
+	NumAgents int   `json:"num_agents"`
+	ObsDims   []int `json:"obs_dims"`
+	ActDim    int   `json:"act_dim"`
+	Capacity  int   `json:"capacity"`
+}
+
+func specToWire(s replay.Spec) specWire {
+	return specWire{NumAgents: s.NumAgents, ObsDims: s.ObsDims, ActDim: s.ActDim, Capacity: s.Capacity}
+}
+
+func (w specWire) spec() replay.Spec {
+	return replay.Spec{NumAgents: w.NumAgents, ObsDims: w.ObsDims, ActDim: w.ActDim, Capacity: w.Capacity}
+}
+
+// statsReply is the stats endpoint's JSON document.
+type statsReply struct {
+	Spec  specWire       `json:"spec"`
+	Store expstore.Stats `json:"store"`
+}

@@ -1,0 +1,54 @@
+package expstore
+
+import (
+	"testing"
+
+	"marlperf/internal/replay"
+)
+
+// FuzzParseSegment hammers the segment decoder with mutated images, in both
+// sealed (strict) and newest-segment (torn-tolerant) modes. The decoder
+// guards every recovery path, so it must never panic, never over-read, and
+// any accepted prefix must satisfy the format invariants.
+func FuzzParseSegment(f *testing.F) {
+	spec := replay.Spec{NumAgents: 2, ObsDims: []int{3, 4}, ActDim: 2, Capacity: 16}
+	layout := replay.NewRowLayout(spec)
+
+	valid := appendSegmentHeader(nil, layout, 7)
+	for seq := uint64(7); seq < 12; seq++ {
+		valid = appendRecord(valid, layout, seq, rowForSeq(layout, seq))
+	}
+	f.Add(valid, true)
+	f.Add(valid, false)
+	f.Add([]byte{}, true)
+	f.Add([]byte("MXPK"), true)
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...), true)  // torn mid-record
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...), false) // same, sealed
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-10] ^= 0x04 // damage the last record
+	f.Add(mutated, true)
+	mutated2 := append([]byte(nil), valid...)
+	mutated2[10] ^= 0xFF // damage the header
+	f.Add(mutated2, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, tornOK bool) {
+		base, rows, n, goodOff, err := parseSegment(data, layout, tornOK)
+		if err != nil {
+			return
+		}
+		stride := layout.Stride()
+		if len(rows) != n*stride {
+			t.Fatalf("parsed %d rows but %d floats (stride %d)", n, len(rows), stride)
+		}
+		if goodOff < segHeaderSize(layout) || goodOff > len(data) {
+			t.Fatalf("goodOff %d outside [%d,%d]", goodOff, segHeaderSize(layout), len(data))
+		}
+		if !tornOK && goodOff != len(data) {
+			t.Fatalf("sealed parse accepted a torn tail: goodOff %d of %d", goodOff, len(data))
+		}
+		if wantRows := (goodOff - segHeaderSize(layout)) / recordSize(layout); wantRows != n {
+			t.Fatalf("goodOff %d implies %d records, decoder returned %d", goodOff, wantRows, n)
+		}
+		_ = base
+	})
+}

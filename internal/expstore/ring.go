@@ -1,0 +1,151 @@
+// Package expstore is the persistent half of the experience service: an
+// append-only, crash-recoverable segment store for KV transition rows. One
+// record is one environment step — the key is the global time index, the
+// value is every agent's transition packed contiguously (replay.RowLayout),
+// preserving the paper's §IV-B2 data layout on disk so server-side
+// locality-aware sampling streams sequential rows.
+//
+// The store keeps two views of the same experience:
+//
+//   - an in-memory Ring of the newest Capacity rows, which samplers gather
+//     from (the hot path — one contiguous copy per row);
+//   - CRC-framed pack files (segments) on disk, rotated at SegmentRows
+//     records and retired once they fall entirely outside the ring window,
+//     which make the experience crash-recoverable: reopening after a kill
+//     drops at most the torn tail of the active segment.
+//
+// Framing and torn-tail handling follow internal/resilience (MSNP) and the
+// MARB replay serialization: explicit lengths, IEEE CRC32 trailers, and
+// plausibility bounds before any allocation.
+package expstore
+
+import (
+	"fmt"
+
+	"marlperf/internal/replay"
+)
+
+// ringTraceBase is the synthetic base address Ring gathers report to the
+// cache simulator; widely separated from the KVBuffer (1<<40) and baseline
+// Buffer regions so traces never alias.
+const ringTraceBase = 1 << 44
+
+// Ring is a bounded in-memory row store addressed by insertion order: index
+// 0 is the oldest retained row, Len()-1 the newest. It is the sampling
+// substrate of both the local experience source and the networked store;
+// consecutive indices occupy consecutive memory slots (modulo one wrap), so
+// a locality plan's neighbor runs translate into sequential address
+// streams.
+//
+// Ring is not safe for concurrent use; Store adds locking.
+type Ring struct {
+	layout replay.RowLayout
+	data   []float64
+	cap    int
+	start  int // slot of insertion-order index 0
+	length int
+	total  uint64 // rows ever appended; Base() = total - length
+
+	tracer replay.Tracer
+}
+
+// NewRing allocates an empty ring for spec, holding spec.Capacity rows.
+func NewRing(spec replay.Spec) *Ring {
+	layout := replay.NewRowLayout(spec)
+	return &Ring{
+		layout: layout,
+		data:   make([]float64, spec.Capacity*layout.Stride()),
+		cap:    spec.Capacity,
+	}
+}
+
+// Layout returns the shared interleaved row layout.
+func (r *Ring) Layout() replay.RowLayout { return r.layout }
+
+// Len returns the number of retained rows.
+func (r *Ring) Len() int { return r.length }
+
+// RowCount implements Provider.
+func (r *Ring) RowCount() int { return r.length }
+
+// Total returns the number of rows ever appended.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Base returns the global sequence number of insertion-order index 0.
+func (r *Ring) Base() uint64 { return r.total - uint64(r.length) }
+
+// SetTracer installs (or clears) the address tracer.
+func (r *Ring) SetTracer(t replay.Tracer) { r.tracer = t }
+
+// Append copies one packed row into the ring, evicting the oldest row once
+// full.
+func (r *Ring) Append(row []float64) {
+	stride := r.layout.Stride()
+	if len(row) != stride {
+		panic(fmt.Sprintf("expstore: Append row of %d floats, want %d", len(row), stride))
+	}
+	slot := (r.start + r.length) % r.cap
+	copy(r.data[slot*stride:(slot+1)*stride], row)
+	if r.length < r.cap {
+		r.length++
+	} else {
+		r.start = (r.start + 1) % r.cap
+	}
+	r.total++
+}
+
+// AppendRow implements Provider.
+func (r *Ring) AppendRow(row []float64) error {
+	r.Append(row)
+	return nil
+}
+
+// Flush implements Provider; an in-memory ring has nothing to publish.
+func (r *Ring) Flush() error { return nil }
+
+// Row returns the packed row at insertion-order index i (aliasing the
+// ring's storage; valid until the next Append evicts it).
+func (r *Ring) Row(i int) []float64 {
+	if i < 0 || i >= r.length {
+		panic(fmt.Sprintf("expstore: Row index %d outside [0,%d)", i, r.length))
+	}
+	stride := r.layout.Stride()
+	slot := (r.start + i) % r.cap
+	return r.data[slot*stride : (slot+1)*stride]
+}
+
+// GatherPacked copies the rows at the given insertion-order indices into
+// dst, emitting one address-trace access per row. dst must hold
+// len(indices)·Stride() float64s.
+func (r *Ring) GatherPacked(indices []int, dst []float64) {
+	stride := r.layout.Stride()
+	if len(dst) < len(indices)*stride {
+		panic(fmt.Sprintf("expstore: GatherPacked dst %d floats for %d rows of %d", len(dst), len(indices), stride))
+	}
+	for rowN, idx := range indices {
+		if idx < 0 || idx >= r.length {
+			panic(fmt.Sprintf("expstore: gather index %d outside [0,%d)", idx, r.length))
+		}
+		slot := (r.start + idx) % r.cap
+		if r.tracer != nil {
+			r.tracer.Access(ringTraceBase+uint64(slot*stride*8), stride*8)
+		}
+		copy(dst[rowN*stride:(rowN+1)*stride], r.data[slot*stride:(slot+1)*stride])
+	}
+}
+
+// SamplePacked selects n rows with plan seeded by seed and copies them into
+// rows (n·Stride() floats), recording the chosen insertion-order indices in
+// idx (length n). This is the one-call sampling path the experience server
+// executes under a single read lock, so index selection and gather see a
+// consistent store.
+func (r *Ring) SamplePacked(plan replay.SamplePlan, n int, seed int64, idx []int, rows []float64) error {
+	if len(idx) != n {
+		return fmt.Errorf("expstore: SamplePacked idx len %d, want %d", len(idx), n)
+	}
+	if err := plan.FillIndices(idx, r.length, seed); err != nil {
+		return err
+	}
+	r.GatherPacked(idx, rows)
+	return nil
+}

@@ -1,0 +1,107 @@
+package expstore
+
+import (
+	"sync"
+
+	"marlperf/internal/replay"
+)
+
+// Provider is the packed-row store contract shared by the in-memory Ring
+// and the persistent Store: insertion-order row addressing, single-call
+// seeded sampling. The experience server and the local Source adapter both
+// program against it.
+type Provider interface {
+	Layout() replay.RowLayout
+	// RowCount returns the number of sampleable rows.
+	RowCount() int
+	// AppendRow appends one packed row of Layout().Stride() floats.
+	AppendRow(row []float64) error
+	// Flush publishes buffered rows (durability barrier for stores).
+	Flush() error
+	// SamplePacked selects n rows with plan seeded by seed as one atomic
+	// operation, filling idx (len n) with the chosen insertion-order
+	// indices and rows (n·stride floats) with the packed data.
+	SamplePacked(plan replay.SamplePlan, n int, seed int64, idx []int, rows []float64) error
+}
+
+var (
+	_ Provider = (*Ring)(nil)
+	_ Provider = (*Store)(nil)
+)
+
+// Source adapts a Provider plus a SamplePlan to the trainer-facing
+// replay.TransitionSource and replay.TransitionSink interfaces. It is the
+// local half of the actor/learner split: a trainer wired to a Source backed
+// by the same rows in the same order as a remote service draws bit-identical
+// batches, because both reduce to Provider.SamplePacked with the same
+// (plan, length, seed).
+//
+// SampleBatch is safe for concurrent use across update workers: draws
+// serialize on an internal lock around the shared scratch, which costs
+// nothing deterministically — every batch is a pure function of its own
+// (n, seed, dst) regardless of draw order. Add/Flush belong to the single
+// collection goroutine.
+type Source struct {
+	p    Provider
+	plan replay.SamplePlan
+
+	mu         sync.Mutex
+	idxScratch []int
+	rowScratch []float64
+	packRow    []float64
+}
+
+// NewSource wraps p with plan. The plan must validate.
+func NewSource(p Provider, plan replay.SamplePlan) (*Source, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Source{p: p, plan: plan}, nil
+}
+
+// Plan returns the sampling plan executed on every SampleBatch.
+func (s *Source) Plan() replay.SamplePlan { return s.plan }
+
+// Len implements replay.TransitionSource.
+func (s *Source) Len() (int, error) { return s.p.RowCount(), nil }
+
+// SampleBatch implements replay.TransitionSource: one seeded plan execution
+// against the provider, split into per-agent tensors. The returned index
+// slice aliases internal scratch and is valid only until the next
+// SampleBatch on this Source; dst is fully written before return.
+func (s *Source) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	layout := s.p.Layout()
+	stride := layout.Stride()
+	if cap(s.idxScratch) < n {
+		s.idxScratch = make([]int, n)
+		s.rowScratch = make([]float64, n*stride)
+	}
+	idx := s.idxScratch[:n]
+	rows := s.rowScratch[:n*stride]
+	if err := s.p.SamplePacked(s.plan, n, seed, idx, rows); err != nil {
+		return nil, err
+	}
+	layout.SplitRows(rows, n, dst)
+	return idx, nil
+}
+
+// Add implements replay.TransitionSink: pack one environment step and
+// append it.
+func (s *Source) Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) error {
+	layout := s.p.Layout()
+	if s.packRow == nil {
+		s.packRow = make([]float64, layout.Stride())
+	}
+	layout.PackRow(s.packRow, obs, act, rew, nextObs, done)
+	return s.p.AppendRow(s.packRow)
+}
+
+// Flush implements replay.TransitionSink.
+func (s *Source) Flush() error { return s.p.Flush() }
+
+var (
+	_ replay.TransitionSource = (*Source)(nil)
+	_ replay.TransitionSink   = (*Source)(nil)
+)

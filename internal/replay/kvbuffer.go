@@ -11,17 +11,14 @@ import (
 // mini-batch gather then runs one loop of m row copies — O(m) instead of
 // the baseline O(N·m) scattered gathers — and a single row access brings
 // all agents' data through the cache together.
+//
+// The row shape itself lives in RowLayout, shared with the segment-packed
+// experience store and the actor/learner wire format.
 type KVBuffer struct {
-	spec Spec
+	spec   Spec
+	layout RowLayout
 
-	rowStride  int   // float64s per row (all agents, all fields)
-	obsOff     []int // per-agent offset of obs within a row
-	actOff     []int
-	rewOff     []int
-	nextObsOff []int
-	doneOff    []int
-
-	data   []float64 // capacity·rowStride, one contiguous allocation
+	data   []float64 // capacity·stride, one contiguous allocation
 	length int
 	next   int
 
@@ -31,31 +28,8 @@ type KVBuffer struct {
 
 // NewKVBuffer allocates an empty key-value replay table for spec.
 func NewKVBuffer(spec Spec) *KVBuffer {
-	if err := spec.Validate(); err != nil {
-		panic(err)
-	}
-	k := &KVBuffer{spec: spec, base: 1 << 40}
-	k.obsOff = make([]int, spec.NumAgents)
-	k.actOff = make([]int, spec.NumAgents)
-	k.rewOff = make([]int, spec.NumAgents)
-	k.nextObsOff = make([]int, spec.NumAgents)
-	k.doneOff = make([]int, spec.NumAgents)
-	off := 0
-	for a := 0; a < spec.NumAgents; a++ {
-		od := spec.ObsDims[a]
-		k.obsOff[a] = off
-		off += od
-		k.actOff[a] = off
-		off += spec.ActDim
-		k.rewOff[a] = off
-		off++
-		k.nextObsOff[a] = off
-		off += od
-		k.doneOff[a] = off
-		off++
-	}
-	k.rowStride = off
-	k.data = make([]float64, spec.Capacity*off)
+	k := &KVBuffer{spec: spec, layout: NewRowLayout(spec), base: 1 << 40}
+	k.data = make([]float64, spec.Capacity*k.layout.Stride())
 	return k
 }
 
@@ -76,16 +50,17 @@ func (k *KVBuffer) ReorganizeFrom(b *Buffer) int {
 	if n > k.spec.Capacity {
 		n = k.spec.Capacity
 	}
+	stride := k.layout.Stride()
 	ad := k.spec.ActDim
 	for idx := 0; idx < n; idx++ {
-		row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
+		row := k.data[idx*stride : (idx+1)*stride]
 		for a := 0; a < k.spec.NumAgents; a++ {
 			od := k.spec.ObsDims[a]
-			copy(row[k.obsOff[a]:k.obsOff[a]+od], b.obs[a][idx*od:(idx+1)*od])
-			copy(row[k.actOff[a]:k.actOff[a]+ad], b.act[a][idx*ad:(idx+1)*ad])
-			row[k.rewOff[a]] = b.rew[a][idx]
-			copy(row[k.nextObsOff[a]:k.nextObsOff[a]+od], b.nextObs[a][idx*od:(idx+1)*od])
-			row[k.doneOff[a]] = b.done[a][idx]
+			copy(row[k.layout.obsOff[a]:k.layout.obsOff[a]+od], b.obs[a][idx*od:(idx+1)*od])
+			copy(row[k.layout.actOff[a]:k.layout.actOff[a]+ad], b.act[a][idx*ad:(idx+1)*ad])
+			row[k.layout.rewOff[a]] = b.rew[a][idx]
+			copy(row[k.layout.nxtOff[a]:k.layout.nxtOff[a]+od], b.nextObs[a][idx*od:(idx+1)*od])
+			row[k.layout.dnOff[a]] = b.done[a][idx]
 		}
 	}
 	k.length = n
@@ -96,21 +71,9 @@ func (k *KVBuffer) ReorganizeFrom(b *Buffer) int {
 // Add stores one environment step for all agents directly in interleaved
 // form (the maintained-incrementally mode) and returns the slot index.
 func (k *KVBuffer) Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) int {
-	n := k.spec.NumAgents
-	if len(obs) != n || len(act) != n || len(rew) != n || len(nextObs) != n || len(done) != n {
-		panic(fmt.Sprintf("replay: KVBuffer.Add got %d/%d/%d/%d/%d rows, want %d each", len(obs), len(act), len(rew), len(nextObs), len(done), n))
-	}
 	idx := k.next
-	row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
-	ad := k.spec.ActDim
-	for a := 0; a < n; a++ {
-		od := k.spec.ObsDims[a]
-		copy(row[k.obsOff[a]:k.obsOff[a]+od], obs[a])
-		copy(row[k.actOff[a]:k.actOff[a]+ad], act[a])
-		row[k.rewOff[a]] = rew[a]
-		copy(row[k.nextObsOff[a]:k.nextObsOff[a]+od], nextObs[a])
-		row[k.doneOff[a]] = done[a]
-	}
+	stride := k.layout.Stride()
+	k.layout.PackRow(k.data[idx*stride:(idx+1)*stride], obs, act, rew, nextObs, done)
 	k.next = (k.next + 1) % k.spec.Capacity
 	if k.length < k.spec.Capacity {
 		k.length++
@@ -124,8 +87,11 @@ func (k *KVBuffer) Len() int { return k.length }
 // Spec returns the table's shape description.
 func (k *KVBuffer) Spec() Spec { return k.spec }
 
+// Layout returns the shared interleaved row layout.
+func (k *KVBuffer) Layout() RowLayout { return k.layout }
+
 // RowStride returns the float64 count of one interleaved row.
-func (k *KVBuffer) RowStride() int { return k.rowStride }
+func (k *KVBuffer) RowStride() int { return k.layout.Stride() }
 
 // SetTracer installs (or clears) the address tracer.
 func (k *KVBuffer) SetTracer(t Tracer) { k.tracer = t }
@@ -135,17 +101,18 @@ func (k *KVBuffer) SetTracer(t Tracer) { k.tracer = t }
 // key, no per-agent handling). dst must hold at least
 // len(indices)·RowStride() float64s.
 func (k *KVBuffer) GatherRows(indices []int, dst []float64) {
-	if len(dst) < len(indices)*k.rowStride {
-		panic(fmt.Sprintf("replay: GatherRows dst %d floats for %d rows of %d", len(dst), len(indices), k.rowStride))
+	stride := k.layout.Stride()
+	if len(dst) < len(indices)*stride {
+		panic(fmt.Sprintf("replay: GatherRows dst %d floats for %d rows of %d", len(dst), len(indices), stride))
 	}
 	for rowN, idx := range indices {
 		if idx < 0 || idx >= k.length {
 			panic(fmt.Sprintf("replay: KVBuffer gather index %d outside [0,%d)", idx, k.length))
 		}
 		if k.tracer != nil {
-			k.tracer.Access(k.base+uint64(idx*k.rowStride*8), k.rowStride*8)
+			k.tracer.Access(k.base+uint64(idx*stride*8), stride*8)
 		}
-		copy(dst[rowN*k.rowStride:(rowN+1)*k.rowStride], k.data[idx*k.rowStride:(idx+1)*k.rowStride])
+		copy(dst[rowN*stride:(rowN+1)*stride], k.data[idx*stride:(idx+1)*stride])
 	}
 }
 
@@ -156,22 +123,7 @@ func (k *KVBuffer) SplitRows(rows []float64, count int, dst []*AgentBatch) {
 	if len(dst) != k.spec.NumAgents {
 		panic(fmt.Sprintf("replay: SplitRows got %d batches for %d agents", len(dst), k.spec.NumAgents))
 	}
-	if len(rows) < count*k.rowStride {
-		panic(fmt.Sprintf("replay: SplitRows got %d floats for %d rows of %d", len(rows), count, k.rowStride))
-	}
-	ad := k.spec.ActDim
-	for rowN := 0; rowN < count; rowN++ {
-		row := rows[rowN*k.rowStride : (rowN+1)*k.rowStride]
-		for a := 0; a < k.spec.NumAgents; a++ {
-			od := k.spec.ObsDims[a]
-			d := dst[a]
-			copy(d.Obs.Row(rowN), row[k.obsOff[a]:k.obsOff[a]+od])
-			copy(d.Act.Row(rowN), row[k.actOff[a]:k.actOff[a]+ad])
-			d.Rew.Data[rowN] = row[k.rewOff[a]]
-			copy(d.NextObs.Row(rowN), row[k.nextObsOff[a]:k.nextObsOff[a]+od])
-			d.Done.Data[rowN] = row[k.doneOff[a]]
-		}
-	}
+	k.layout.SplitRows(rows, count, dst)
 }
 
 // GatherAll copies the transitions at indices for every agent in a single
@@ -182,23 +134,15 @@ func (k *KVBuffer) GatherAll(indices []int, dst []*AgentBatch) {
 	if len(dst) != k.spec.NumAgents {
 		panic(fmt.Sprintf("replay: KVBuffer.GatherAll got %d batches for %d agents", len(dst), k.spec.NumAgents))
 	}
-	ad := k.spec.ActDim
+	stride := k.layout.Stride()
 	for rowN, idx := range indices {
 		if idx < 0 || idx >= k.length {
 			panic(fmt.Sprintf("replay: KVBuffer gather index %d outside [0,%d)", idx, k.length))
 		}
-		row := k.data[idx*k.rowStride : (idx+1)*k.rowStride]
+		row := k.data[idx*stride : (idx+1)*stride]
 		if k.tracer != nil {
-			k.tracer.Access(k.base+uint64(idx*k.rowStride*8), k.rowStride*8)
+			k.tracer.Access(k.base+uint64(idx*stride*8), stride*8)
 		}
-		for a := 0; a < k.spec.NumAgents; a++ {
-			od := k.spec.ObsDims[a]
-			d := dst[a]
-			copy(d.Obs.Row(rowN), row[k.obsOff[a]:k.obsOff[a]+od])
-			copy(d.Act.Row(rowN), row[k.actOff[a]:k.actOff[a]+ad])
-			d.Rew.Data[rowN] = row[k.rewOff[a]]
-			copy(d.NextObs.Row(rowN), row[k.nextObsOff[a]:k.nextObsOff[a]+od])
-			d.Done.Data[rowN] = row[k.doneOff[a]]
-		}
+		k.layout.SplitRowInto(dst, rowN, row)
 	}
 }

@@ -1,0 +1,88 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample-plan strategies executable server-side by the experience service.
+// Only strategies whose index selection is a pure function of
+// (length, seed) qualify: prioritized samplers carry mutable client-side
+// state (sum trees, rank heaps) that cannot be replayed remotely.
+const (
+	// PlanUniform is baseline i.i.d. uniform index selection.
+	PlanUniform = "uniform"
+	// PlanLocality is the paper's Algorithm 1: uniform reference points
+	// expanded into contiguous neighbor runs, so the server-side gather
+	// streams sequentially over the segment rows.
+	PlanLocality = "locality"
+)
+
+// SamplePlan describes a mini-batch index selection as pure data, so the
+// same selection runs identically against a local buffer or inside the
+// remote experience service. The strategy is seeded per request: the
+// learner draws one seed from its RNG stream and both sides derive the
+// identical index set from it, which is what makes remote-fed training
+// bit-reproducible against local training.
+type SamplePlan struct {
+	Strategy  string `json:"strategy"`
+	Neighbors int    `json:"neighbors,omitempty"` // locality: run length
+	Refs      int    `json:"refs,omitempty"`      // locality: nominal reference count (reporting)
+}
+
+// Validate reports whether the plan is executable.
+func (p SamplePlan) Validate() error {
+	switch p.Strategy {
+	case PlanUniform:
+		return nil
+	case PlanLocality:
+		if p.Neighbors < 1 {
+			return fmt.Errorf("replay: locality plan needs Neighbors ≥1, got %d", p.Neighbors)
+		}
+		return nil
+	default:
+		return fmt.Errorf("replay: unknown sample plan strategy %q (want %q or %q)", p.Strategy, PlanUniform, PlanLocality)
+	}
+}
+
+// String returns the plan's report name.
+func (p SamplePlan) String() string {
+	if p.Strategy == PlanLocality {
+		return fmt.Sprintf("%s(n=%d,ref=%d)", p.Strategy, p.Neighbors, p.Refs)
+	}
+	return p.Strategy
+}
+
+// FillIndices writes len(dst) transition indices over [0, length) into dst,
+// derived deterministically from seed. The index stream is identical on
+// every host for the same (plan, length, seed), which both sides of the
+// actor/learner split rely on.
+func (p SamplePlan) FillIndices(dst []int, length int, seed int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if length < 1 {
+		return fmt.Errorf("replay: sample plan over empty store")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch p.Strategy {
+	case PlanUniform:
+		for i := range dst {
+			dst[i] = rng.Intn(length)
+		}
+	case PlanLocality:
+		filled := 0
+		for filled < len(dst) {
+			ref := rng.Intn(length)
+			run := p.Neighbors
+			if rem := len(dst) - filled; run > rem {
+				run = rem
+			}
+			for k := 0; k < run; k++ {
+				dst[filled] = (ref + k) % length
+				filled++
+			}
+		}
+	}
+	return nil
+}

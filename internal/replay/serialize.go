@@ -128,6 +128,18 @@ func ReadBuffer(src io.Reader) (*Buffer, error) {
 	if length > capacity || next >= capacity {
 		return nil, fmt.Errorf("replay: implausible length %d / next %d for capacity %d", length, next, capacity)
 	}
+	// Bound the total allocation a header can demand before a single
+	// payload byte arrives: a corrupt capacity/dim combination must fail
+	// with an error, not an out-of-memory crash. 2^28 floats (2 GiB) is an
+	// order of magnitude above the paper's largest configuration.
+	const maxTotalFloats = 1 << 28
+	var totalFloats uint64
+	for _, od := range spec.ObsDims {
+		totalFloats += uint64(capacity) * uint64(2*od+int(actDim)+2)
+	}
+	if totalFloats > maxTotalFloats {
+		return nil, fmt.Errorf("replay: implausible buffer storage %d floats (max %d)", totalFloats, uint64(maxTotalFloats))
+	}
 	buf := NewBuffer(spec)
 	buf.length = int(length)
 	buf.next = int(next)

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -112,10 +113,17 @@ func FuzzReadBuffer(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid)
+	f.Add([]byte{})
 	f.Add([]byte("MARB"))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...)) // truncated mid-payload
 	mutated := append([]byte(nil), valid...)
 	mutated[10] ^= 0xAA
 	f.Add(mutated)
+	// A header demanding a huge allocation (giant capacity) must be
+	// rejected by the plausibility bounds, not attempted.
+	huge := append([]byte(nil), valid[:16]...)
+	binary.LittleEndian.PutUint32(huge[12:], 1<<27)
+	f.Add(huge)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		restored, err := ReadBuffer(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,30 @@
+package replay
+
+// TransitionSource is the learner-side abstraction over where experience
+// lives: an in-process row store or the remote experience service. The
+// trainer draws one seed per mini-batch from the requesting agent's RNG
+// stream and the source materializes the batch; because index selection is
+// a pure function of (plan, length, seed), a local and a remote source fed
+// the same rows in the same order produce bit-identical batches.
+type TransitionSource interface {
+	// Len returns the number of transitions currently sampleable. Remote
+	// implementations may perform I/O.
+	Len() (int, error)
+	// SampleBatch fills dst (one AgentBatch per agent, each with ≥ n rows)
+	// with n transitions selected by the source's plan seeded with seed,
+	// and returns the chosen insertion-order row indices for diagnostics.
+	// The returned slice is only valid until the next call.
+	SampleBatch(n int, seed int64, dst []*AgentBatch) ([]int, error)
+}
+
+// TransitionSink receives every transition an actor (or learner) collects,
+// in collection order. Implementations may buffer; Flush publishes
+// everything buffered so far and must be called before the producer relies
+// on the rows being visible to samplers.
+type TransitionSink interface {
+	// Add appends one environment step (all agents). The slices are only
+	// valid during the call; implementations must copy.
+	Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) error
+	// Flush publishes buffered rows.
+	Flush() error
+}
