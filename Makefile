@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-workers examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers bench-rollout cluster-smoke examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -23,6 +23,15 @@ bench:
 # Worker-pool scaling sweep; writes the grid to BENCH_update.json.
 bench-workers:
 	$(GO) test -run '^$$' -bench UpdateWorkersSweep -benchtime 3x .
+
+# Vectorized-rollout sweep (env count × acting mode); writes BENCH_rollout.json.
+bench-rollout:
+	$(GO) test -run '^$$' -bench RolloutVec -benchtime 200ms .
+
+# Five-process full-loop smoke: replayd + policyd + two actors + learner,
+# race-instrumented, asserting ≥2 policy hot-swaps per actor.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

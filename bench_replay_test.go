@@ -83,7 +83,10 @@ func BenchmarkExpServeSample(b *testing.B) {
 		{"uniform", replay.SamplePlan{Strategy: replay.PlanUniform}},
 		{"locality", replay.SamplePlan{Strategy: replay.PlanLocality, Neighbors: 16, Refs: 64}},
 	}
-	var rows []replaySweepRow
+	// The testing package re-invokes each sub-benchmark while calibrating
+	// b.N; keep only the final (fully calibrated) measurement per cell.
+	cells := make(map[string]replaySweepRow)
+	var order []string
 	for _, p := range plans {
 		for _, batch := range []int{256, 1024, 4096} {
 			dst := make([]*replay.AgentBatch, spec.NumAgents)
@@ -121,16 +124,23 @@ func BenchmarkExpServeSample(b *testing.B) {
 					if ns > 0 {
 						rps = float64(batch) / (ns / 1e9)
 					}
-					rows = append(rows, replaySweepRow{
+					if _, seen := cells[name]; !seen {
+						order = append(order, name)
+					}
+					cells[name] = replaySweepRow{
 						Plan: p.name, Batch: batch, Mode: mode.name,
 						NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
-					})
+					}
 				})
 			}
 		}
 	}
-	if len(rows) == 0 {
+	if len(order) == 0 {
 		return
+	}
+	rows := make([]replaySweepRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, cells[name])
 	}
 	out := struct {
 		Benchmark  string           `json:"benchmark"`

@@ -1,24 +1,28 @@
-// Command marl-actor collects environment experience and publishes it to
-// an experience service (marl-replayd) instead of learning from it. It is
-// the collection half of the actor/learner split: run any number of
-// actors against one replayd, each under a distinct -actor-id, and point
-// a learner at the same service with marl-train -replay-addr.
+// Command marl-actor is the acting half of the distributed MARL loop: a
+// vectorized rollout engine stepping -envs environments at once, publishing
+// every transition to an experience service (marl-replayd) and hot-swapping
+// its acting policy from a policy service (marl-policyd) between env steps.
+// Run any number of actors against one replayd/policyd pair, each under a
+// distinct -actor-id and -first-env, and point a learner at the same pair
+// with marl-train -replay-addr/-policy-publish-addr to close the loop:
+// learner → policyd → N actors → replayd → learner.
 //
 // Usage:
 //
-//	marl-actor -replay-addr 127.0.0.1:9300 -env cn -agents 3 -actor-id actor-0 -episodes 500
+//	marl-actor -replay-addr 127.0.0.1:9300 -policy-addr 127.0.0.1:9400 \
+//	  -env cn -agents 3 -envs 8 -actor-id actor-0 -episodes 500
 //
 // Transitions ship in batches carrying the actor ID and a monotonic
 // sequence number, so a retried append that already landed is deduplicated
-// server-side rather than doubling experience. The actor acts with its
-// (optionally -load-ed) policy plus the usual exploration noise; it never
-// runs updates.
+// server-side rather than doubling experience. Without -policy-addr the
+// actor acts with its (optionally -load-ed) policy forever; with it, the
+// actor checks for a newer published version every -sync-every engine steps
+// and swaps it in whole, bounding acting staleness by the sync cadence.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,7 +30,12 @@ import (
 
 	"marlperf"
 	"marlperf/internal/expserve"
+	"marlperf/internal/mpe"
+	"marlperf/internal/nn"
+	"marlperf/internal/policysync"
 	"marlperf/internal/replay"
+	"marlperf/internal/rollout"
+	"marlperf/internal/telemetry"
 )
 
 const (
@@ -40,25 +49,32 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		replayAddr = flag.String("replay-addr", "127.0.0.1:9300", "experience service address (marl-replayd)")
-		actorID    = flag.String("actor-id", "actor-0", "unique id for this actor's idempotent append stream")
-		envName    = flag.String("env", "cn", "environment: pp, cn or pd (must match the service)")
-		agents     = flag.Int("agents", 3, "number of trainable agents (must match the service)")
-		algoName   = flag.String("algo", "maddpg", "algorithm whose policy network acts: maddpg or matd3")
-		episodes   = flag.Int("episodes", 100, "episodes to collect")
-		seed       = flag.Int64("seed", 1, "RNG seed (give each actor its own)")
-		loadPath   = flag.String("load", "", "act with this policy checkpoint instead of a fresh one")
-		batchRows  = flag.Int("batch-rows", 512, "transitions per shipped append batch")
-		logEvery   = flag.Int("log-every", 20, "episodes between progress lines")
+		replayAddr  = flag.String("replay-addr", "127.0.0.1:9300", "experience service address (marl-replayd)")
+		policyAddr  = flag.String("policy-addr", "", "policy service address (marl-policyd); empty acts with the -load/fresh policy forever")
+		actorID     = flag.String("actor-id", "actor-0", "unique id for this actor's idempotent append stream")
+		envName     = flag.String("env", "cn", "environment: pp, cn or pd (must match the service)")
+		agents      = flag.Int("agents", 3, "number of trainable agents (must match the service)")
+		algoName    = flag.String("algo", "maddpg", "algorithm whose policy network acts: maddpg or matd3")
+		envs        = flag.Int("envs", 1, "environments stepped per engine step (vectorized acting)")
+		firstEnv    = flag.Int("first-env", 0, "global index of this actor's first env (give actor k of a fleet k*envs)")
+		syncEvery   = flag.Int("sync-every", 25, "engine steps between policy version checks")
+		policyWait  = flag.Duration("policy-wait", time.Minute, "how long to wait for the first published policy before acting with the local one")
+		episodes    = flag.Int("episodes", 100, "episodes to collect (0: run until signalled)")
+		seed        = flag.Int64("seed", 1, "RNG seed (per-env streams derive from it and -first-env)")
+		loadPath    = flag.String("load", "", "act with this policy checkpoint until the service publishes a newer one")
+		batchRows   = flag.Int("batch-rows", 512, "transitions per shipped append batch")
+		logEvery    = flag.Int("log-every", 20, "episodes between progress lines")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz here (empty: disabled)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-actor [flags]
 
-Collects environment experience and streams it to an experience service.
-Appends are idempotent per (actor-id, batch sequence) and retried with
-jittered backoff when the service answers 429, so a fleet of actors
-degrades gracefully under ingest backpressure instead of losing or
-doubling data.
+Steps a vector of environments under the newest published policy and
+streams every transition to an experience service. Appends are idempotent
+per (actor-id, batch sequence) and retried with jittered backoff when the
+service answers 429; policy fetches long-poll marl-policyd and hot-swap
+the acting networks atomically between env steps, so acting staleness is
+bounded by -sync-every instead of unbounded.
 
 Exit codes:
   0  collection completed
@@ -72,16 +88,9 @@ Flags:
 	}
 	flag.Parse()
 
-	var env marlperf.Env
-	switch *envName {
-	case "pp":
-		env = marlperf.NewPredatorPrey(*agents)
-	case "cn":
-		env = marlperf.NewCooperativeNavigation(*agents)
-	case "pd":
-		env = marlperf.NewPhysicalDeception(*agents)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown env %q (want pp, cn or pd)\n", *envName)
+	newEnv, err := envFactory(*envName, *agents)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return exitUsage
 	}
 	algo := marlperf.MADDPG
@@ -91,16 +100,18 @@ Flags:
 		fmt.Fprintf(os.Stderr, "unknown algo %q (want maddpg or matd3)\n", *algoName)
 		return exitUsage
 	}
+	if *envs < 1 || *firstEnv < 0 || *syncEvery < 1 {
+		fmt.Fprintln(os.Stderr, "-envs and -sync-every must be ≥ 1, -first-env ≥ 0")
+		return exitUsage
+	}
 
+	probe := newEnv()
 	cfg := marlperf.DefaultConfig(algo)
 	cfg.Seed = *seed
-	// A pure actor never updates: the local buffer can never reach an
-	// unreachable warmup size, so Step only interacts and publishes.
-	cfg.WarmupSize = math.MaxInt
 	spec := replay.Spec{
-		NumAgents: env.NumAgents(),
-		ObsDims:   env.ObsDims(),
-		ActDim:    env.NumActions(),
+		NumAgents: probe.NumAgents(),
+		ObsDims:   probe.ObsDims(),
+		ActDim:    probe.NumActions(),
 		Capacity:  cfg.BufferCapacity,
 	}
 
@@ -123,53 +134,83 @@ Flags:
 		return exitUsage
 	}
 
-	tr, err := marlperf.NewTrainer(cfg, env)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return exitError
-	}
-	defer tr.Close()
-	if err := tr.SetExperienceService(nil, sink); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return exitError
-	}
-	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
+	registry := telemetry.NewRegistry()
+	if *metricsAddr != "" {
+		ms, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: registry})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
-		loadErr := tr.LoadCheckpoint(f)
-		f.Close()
-		if loadErr != nil {
-			fmt.Fprintln(os.Stderr, "loading checkpoint:", loadErr)
-			return exitError
-		}
-		fmt.Printf("acting with policy from %s\n", *loadPath)
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ms.Addr())
+	}
+
+	eng, err := rollout.NewEngine(rollout.Config{
+		NewEnv:        newEnv,
+		Envs:          *envs,
+		FirstEnvIndex: *firstEnv,
+		Seed:          *seed,
+		GumbelTau:     cfg.GumbelTau,
+		MaxEpisodeLen: cfg.MaxEpisodeLen,
+		Sink:          sink,
+		Registry:      registry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+
+	// Policy syncer: long-poll marl-policyd in the background, swap newest
+	// snapshots in between engine steps.
+	var syncer *policysync.Syncer
+	if *policyAddr != "" {
+		syncer = policysync.NewSyncer(policysync.NewClient(*policyAddr, policysync.ClientOptions{}), 10*time.Second)
+		syncer.OnError = func(err error) { fmt.Fprintln(os.Stderr, "policy fetch:", err) }
+		syncer.Start()
+		defer syncer.Close()
+	}
+
+	// Initial policy: the service's newest snapshot if one arrives within
+	// -policy-wait, else the -load checkpoint, else fresh seeded networks.
+	if err := installInitialPolicy(eng, syncer, *policyWait, cfg, newEnv(), *loadPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
 	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 
-	fmt.Printf("collecting %d episodes on %s with %d agents as %q -> %s\n",
-		*episodes, env.Name(), *agents, *actorID, *replayAddr)
+	fmt.Printf("collecting on %s with %d agents × %d envs (global %d..%d) as %q -> %s\n",
+		probe.Name(), *agents, *envs, *firstEnv, *firstEnv+*envs-1, *actorID, *replayAddr)
 	start := time.Now()
 	completed := 0
 	interrupted := false
-	for completed < *episodes && !interrupted {
-		done, err := tr.StepE()
+	nextLog := *logEvery
+	for engineSteps := 0; (*episodes == 0 || completed < *episodes) && !interrupted; engineSteps++ {
+		if syncer != nil && engineSteps%*syncEvery == 0 {
+			if snap := syncer.Latest(); snap != nil {
+				eng.NoteKnownVersion(snap.Version)
+				if snap.Version > eng.PolicyVersion() {
+					if err := eng.Install(snap.Version, snap.Agents); err != nil {
+						fmt.Fprintln(os.Stderr, "installing policy:", err)
+						return exitError
+					}
+					fmt.Printf("policy: installed v%d (learner updates %d)\n", snap.Version, snap.Updates)
+				}
+			}
+		}
+		n, err := eng.Step()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "publishing experience:", err)
 			return exitError
 		}
-		if !done {
-			continue
-		}
-		completed++
-		if completed%*logEvery == 0 {
-			fmt.Printf("episode %6d  reward %10.2f  steps %d  elapsed %v\n",
-				completed, tr.LastEpisodeReward(), tr.TotalSteps(), time.Since(start).Round(time.Millisecond))
+		completed += n
+		if n > 0 && *logEvery > 0 && completed >= nextLog {
+			nextLog += *logEvery
+			fmt.Printf("episode %6d  reward %10.2f  steps %d  policy v%d  elapsed %v\n",
+				completed, eng.LastEpisodeReward(), eng.TotalSteps(), eng.PolicyVersion(),
+				time.Since(start).Round(time.Millisecond))
 		}
 		select {
 		case sig := <-sigCh:
@@ -182,10 +223,76 @@ Flags:
 		fmt.Fprintln(os.Stderr, "final flush:", err)
 		return exitError
 	}
-	fmt.Printf("done: %d episodes, %d transitions published in %v\n",
-		completed, tr.TotalSteps(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("done: %d episodes, %d transitions published, final policy v%d in %v\n",
+		completed, eng.TotalSteps(), eng.PolicyVersion(), time.Since(start).Round(time.Millisecond))
 	if interrupted {
 		return exitInterrupted
 	}
 	return exitOK
+}
+
+// envFactory maps the -env flag to an independent-instance constructor.
+func envFactory(name string, agents int) (func() mpe.Env, error) {
+	switch name {
+	case "pp":
+		return func() mpe.Env { return marlperf.NewPredatorPrey(agents) }, nil
+	case "cn":
+		return func() mpe.Env { return marlperf.NewCooperativeNavigation(agents) }, nil
+	case "pd":
+		return func() mpe.Env { return marlperf.NewPhysicalDeception(agents) }, nil
+	default:
+		return nil, fmt.Errorf("unknown env %q (want pp, cn or pd)", name)
+	}
+}
+
+// installInitialPolicy gives the engine something to act with: the policy
+// service's first snapshot when one shows up in time, otherwise local
+// networks — the -load checkpoint's actors, or fresh seeded ones (matching
+// what a learner with the same seed starts from). The syncer keeps running
+// either way, so a late-starting policyd still takes over at the next sync.
+func installInitialPolicy(eng *rollout.Engine, syncer *policysync.Syncer, wait time.Duration, cfg marlperf.Config, env mpe.Env, loadPath string) error {
+	if syncer != nil {
+		if snap := syncer.WaitFirst(wait); snap != nil {
+			if err := eng.Install(snap.Version, snap.Agents); err != nil {
+				return fmt.Errorf("installing served policy: %w", err)
+			}
+			fmt.Printf("policy: installed v%d (learner updates %d)\n", snap.Version, snap.Updates)
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "no policy published within %v; starting from the local one\n", wait)
+	}
+	nets, err := localActorNetworks(cfg, env, loadPath)
+	if err != nil {
+		return err
+	}
+	if err := eng.Install(0, nets); err != nil {
+		return fmt.Errorf("installing local policy: %w", err)
+	}
+	if loadPath != "" {
+		fmt.Printf("acting with policy from %s\n", loadPath)
+	}
+	return nil
+}
+
+// localActorNetworks builds the acting networks without a policy service: a
+// throwaway trainer (tiny replay allocation) constructs the full agent
+// stack, optionally restores loadPath, and hands over its actors.
+func localActorNetworks(cfg marlperf.Config, env mpe.Env, loadPath string) ([]*nn.Network, error) {
+	cfg.BufferCapacity = cfg.BatchSize // never filled; keep the allocation small
+	tr, err := marlperf.NewTrainer(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := tr.LoadCheckpoint(f); err != nil {
+			return nil, fmt.Errorf("loading checkpoint: %w", err)
+		}
+	}
+	return tr.ActorNetworks(), nil
 }

@@ -1,0 +1,122 @@
+// Command marl-policyd runs the policy distribution service: a versioned
+// store of per-agent actor-network snapshots behind the publish/fetch HTTP
+// API that marl-train -policy-publish-addr pushes into and marl-actor
+// -policy-addr long-polls. It is the learner→actor half of the closed
+// distributed loop (marl-replayd is the actor→learner half).
+//
+// Usage:
+//
+//	marl-policyd -addr 127.0.0.1:9400
+//
+// Every published frame is validated end to end (CRC trailer, per-network
+// decode) before it becomes visible, and the serving version is assigned
+// here — monotonic from 1 — so a restarted learner republishing identical
+// weights still advances every subscriber. The same address also serves
+// /metrics (Prometheus text exposition of the marl_policy_* series) and
+// /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"marlperf/internal/policysync"
+	"marlperf/internal/telemetry"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9400", "address to serve the policy API, /metrics and /healthz on")
+		maxWait  = flag.Duration("max-wait", 30*time.Second, "cap on one long-poll hold")
+		maxFrame = flag.Int64("max-frame-bytes", 256<<20, "largest accepted policy snapshot")
+		quiet    = flag.Bool("quiet", false, "suppress the per-publish log line")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-policyd [flags]
+
+Serves versioned policy snapshots for a networked actor/learner split:
+POST /v1/policy publishes one CRC-framed per-agent weight snapshot (the
+learner's cadence push), GET /v1/policy?after=N&wait=5s long-polls for a
+newer version (ETag/If-None-Match "vN" works too), GET /v1/policy/stats
+reports version/updates/bytes. /metrics exposes the marl_policy_* series;
+/healthz reports liveness.
+
+Corrupt publishes are rejected before they can reach any actor, and
+serving versions are assigned server-side, so learner restarts never
+stall subscribers.
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		return exitUsage
+	}
+
+	registry := telemetry.NewRegistry()
+	store := policysync.NewStore(registry)
+	if !*quiet {
+		store.OnPublish = func(version, updates uint64, bytes int) {
+			fmt.Printf("published v%d (learner updates %d, %d bytes)\n", version, updates, bytes)
+		}
+	}
+	srv, err := policysync.NewServer(policysync.ServerConfig{
+		Store:         store,
+		MaxWait:       *maxWait,
+		MaxFrameBytes: *maxFrame,
+		Registry:      registry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.ExpositionContentType)
+		_ = registry.WriteExposition(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	fmt.Printf("policy service: serving %s %s /metrics on http://%s (max-wait %v)\n",
+		policysync.PathPolicy, policysync.PathStats, *addr, *maxWait)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "\n%v: shutting down\n", sig)
+		hs.Close()
+		return exitOK
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		return exitOK
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"marlperf/internal/expserve"
 	"marlperf/internal/mpe"
 	"marlperf/internal/plot"
+	"marlperf/internal/policysync"
 	"marlperf/internal/profiler"
 	"marlperf/internal/replay"
 	"marlperf/internal/resilience"
@@ -70,6 +71,9 @@ func run() int {
 		replayAddr = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
 		actorID    = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
 
+		policyAddr  = flag.String("policy-publish-addr", "", "publish actor weights to a policy service (marl-policyd) at this address")
+		policyEvery = flag.Int("policy-publish-every", 1, "update stages between policy publishes (with -policy-publish-addr)")
+
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for crash-safe snapshot generations (enables resumable runs)")
 		checkpointEvery = flag.Int("checkpoint-every", 25, "episodes between periodic snapshots (0: only the final one)")
 		resume          = flag.Bool("resume", false, "resume from the newest intact snapshot in -checkpoint-dir")
@@ -89,6 +93,13 @@ experience service (marl-replayd) instead of its in-process buffer. For a
 single learner and a fixed seed this trains bit-identically to the local
 run, because sampling is a pure function of (plan, length, seed) on
 either side.
+
+With -policy-publish-addr the learner closes the actor half of the
+distributed loop: after every -policy-publish-every update stages (and once
+at start and at exit) it pushes its per-agent actor weights to a policy
+service (marl-policyd) that any number of marl-actor processes long-poll,
+so actors act on a policy at most one publish cadence stale. A policyd
+outage only warns — training never blocks on distribution.
 
 With -metrics-addr the run is observable live: /metrics serves Prometheus
 text exposition (per-phase latency histograms, event counters, run gauges),
@@ -161,6 +172,10 @@ Flags:
 		fmt.Fprintf(os.Stderr, "-retain %d: want ≥1\n", *retain)
 		return exitUsage
 	}
+	if *policyEvery < 1 {
+		fmt.Fprintf(os.Stderr, "-policy-publish-every %d: want ≥1\n", *policyEvery)
+		return exitUsage
+	}
 
 	tr, err := marlperf.NewTrainer(cfg, env)
 	if err != nil {
@@ -221,6 +236,19 @@ Flags:
 		}
 	}
 
+	// Policy publisher: push actor weights after resume/load so subscribers
+	// never see a staler policy than the learner is actually training.
+	var pub *policyPublisher
+	if *policyAddr != "" {
+		pub = newPolicyPublisher(*policyAddr, *policyEvery)
+		if v, err := pub.publish(tr); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: initial policy publish failed:", err)
+		} else {
+			fmt.Printf("policy service: publishing to %s every %d updates (initial version v%d)\n",
+				*policyAddr, *policyEvery, v)
+		}
+	}
+
 	var wd *core.Watchdog
 	if *watchdogOn {
 		wd, err = core.NewWatchdog(tr, core.WatchdogConfig{})
@@ -247,6 +275,12 @@ Flags:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experience service:", err)
 			return exitError
+		}
+		// Publish before the episode gate: update stages fire on step cadence,
+		// not episode cadence, so a publish check only at episode boundaries
+		// would lag the configured cadence by up to an episode.
+		if pub != nil {
+			pub.maybePublish(tr)
 		}
 		if !done {
 			continue
@@ -293,6 +327,15 @@ Flags:
 			return exitError
 		}
 		fmt.Printf("snapshot generation %d written to %s\n", tr.EpisodeCount(), store.Dir())
+	}
+	if pub != nil {
+		// Terminal publish: actors keep acting after the learner exits; they
+		// should do it on the final weights.
+		if v, err := pub.publish(tr); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: final policy publish failed:", err)
+		} else {
+			fmt.Printf("policy: published final version v%d (%d updates)\n", v, tr.UpdateCount())
+		}
 	}
 
 	tel.refresh(tr)
@@ -355,6 +398,54 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 		return err
 	}
 	return tr.SetExperienceService(src, sink)
+}
+
+// policyPublisher pushes the learner's actor weights to a policy service at
+// a fixed update-stage cadence. Failures warn (once per outage streak)
+// instead of stopping training: distribution is best-effort, actors keep
+// acting on the last version they fetched.
+type policyPublisher struct {
+	client      *policysync.Client
+	every       int
+	publishedAt int  // UpdateCount at the last successful publish
+	failing     bool // suppress repeated warnings during an outage
+	frame       []byte
+}
+
+func newPolicyPublisher(addr string, every int) *policyPublisher {
+	return &policyPublisher{client: policysync.NewClient(addr, policysync.ClientOptions{}), every: every, publishedAt: -1}
+}
+
+// maybePublish publishes when at least `every` update stages ran since the
+// last successful publish.
+func (p *policyPublisher) maybePublish(tr *marlperf.Trainer) {
+	if p.publishedAt >= 0 && tr.UpdateCount()-p.publishedAt < p.every {
+		return
+	}
+	if _, err := p.publish(tr); err != nil {
+		if !p.failing {
+			p.failing = true
+			fmt.Fprintln(os.Stderr, "warning: policy publish failed (will keep retrying):", err)
+		}
+	}
+}
+
+// publish encodes and ships the current actor networks, returning the
+// serving version the policy service assigned.
+func (p *policyPublisher) publish(tr *marlperf.Trainer) (uint64, error) {
+	updates := tr.UpdateCount()
+	frame, err := policysync.EncodeSnapshot(p.frame[:0], uint64(updates), tr.ActorNetworks())
+	if err != nil {
+		return 0, err
+	}
+	p.frame = frame
+	v, err := p.client.Publish(frame)
+	if err != nil {
+		return 0, err
+	}
+	p.publishedAt = updates
+	p.failing = false
+	return v, nil
 }
 
 // resumeFromStore restores trainer, replay experience and RNG state from the

@@ -1,0 +1,16 @@
+package core
+
+import "marlperf/internal/nn"
+
+// ActorNetworks returns every agent's live (online) actor network in agent
+// order. The learner publishes these through policysync at its configured
+// cadence; callers must treat them as read-only and must not forward them
+// concurrently with an in-flight update stage (marl-train serializes publish
+// with the step loop, so this never overlaps).
+func (t *Trainer) ActorNetworks() []*nn.Network {
+	nets := make([]*nn.Network, t.n)
+	for i, ag := range t.agents {
+		nets[i] = ag.actor
+	}
+	return nets
+}

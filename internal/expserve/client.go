@@ -29,6 +29,12 @@ type ClientOptions struct {
 	// JitterSeed seeds the backoff jitter RNG (0 uses a time-derived seed).
 	// Jitter never influences payload bytes, only retry spacing.
 	JitterSeed int64
+	// TotalDeadline caps the cumulative time one request may spend across
+	// all attempts, backoff sleeps included. Zero leaves Attempts as the only
+	// bound. An actor riding out a replayd restart wants generous Attempts
+	// with a TotalDeadline matched to how long an outage it will tolerate
+	// before surfacing the failure.
+	TotalDeadline time.Duration
 }
 
 // Client talks to an experience server. Safe for sequential use; wrap with
@@ -87,6 +93,10 @@ func retryable(status int) bool {
 func (c *Client) do(method, path string, contentType string, body []byte) ([]byte, error) {
 	var lastErr error
 	delay := c.opts.BaseDelay
+	var deadline time.Time
+	if c.opts.TotalDeadline > 0 {
+		deadline = time.Now().Add(c.opts.TotalDeadline)
+	}
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 		if err != nil {
@@ -116,6 +126,12 @@ func (c *Client) do(method, path string, contentType string, body []byte) ([]byt
 			return nil, lastErr
 		}
 		jittered := delay + time.Duration(c.rng.Int63n(int64(delay)/2+1))
+		// Never start a sleep that would overrun the total deadline: fail now
+		// with the underlying cause rather than burning the caller's budget.
+		if !deadline.IsZero() && time.Now().Add(jittered).After(deadline) {
+			return nil, fmt.Errorf("expserve: %s: total retry deadline %v exhausted after %d attempts: %w",
+				path, c.opts.TotalDeadline, attempt, lastErr)
+		}
 		c.sleep(jittered)
 		delay *= 2
 		if delay > c.opts.MaxDelay {

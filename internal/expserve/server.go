@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"marlperf/internal/expstore"
@@ -56,6 +57,12 @@ type Server struct {
 	cfg    ServerConfig
 	layout replay.RowLayout
 	mux    *http.ServeMux
+
+	// provMu serializes provider access between the single ingest writer and
+	// concurrent sample/stats readers. The durable expstore.Store carries its
+	// own lock, but the Provider contract does not require one (the volatile
+	// Ring deliberately has none), so the server guards the boundary itself.
+	provMu sync.RWMutex
 
 	queue chan ingestJob
 	stop  chan struct{}
@@ -167,6 +174,8 @@ func (s *Server) ingestLoop() {
 
 func (s *Server) applyBatch(lastSeq map[string]uint64, b appendBatch) ingestResult {
 	start := time.Now()
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
 	if applied, ok := lastSeq[b.ActorID]; ok && b.BatchSeq <= applied {
 		s.ingestDups.Inc()
 		return ingestResult{rows: s.cfg.Provider.RowCount(), dup: true}
@@ -263,7 +272,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	stride := s.layout.Stride()
 	idx := make([]int, req.N)
 	rows := make([]float64, req.N*stride)
-	if err := s.cfg.Provider.SamplePacked(req.Plan, req.N, req.Seed, idx, rows); err != nil {
+	s.provMu.RLock()
+	err := s.cfg.Provider.SamplePacked(req.Plan, req.N, req.Seed, idx, rows)
+	s.provMu.RUnlock()
+	if err != nil {
 		s.sampleErrors.Inc()
 		// An empty/underfilled store is the learner polling before warmup,
 		// not a server fault.
@@ -279,6 +291,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 // handleStats reports the spec and occupancy as JSON.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var st expstore.Stats
+	s.provMu.RLock()
 	if withStats, ok := s.cfg.Provider.(statser); ok {
 		st = withStats.Stats()
 	} else {
@@ -287,6 +300,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Stride = s.layout.Stride()
 	}
 	s.updateGauges(st.Rows)
+	s.provMu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(statsReply{Spec: specToWire(s.cfg.Spec), Store: st})
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -24,6 +25,15 @@ func FuzzReadNetwork(f *testing.F) {
 	mutated := append([]byte(nil), valid...)
 	mutated[6] ^= 0xFF
 	f.Add(mutated)
+	// Allocation attack: a header claiming one dense layer with maximal dims
+	// would demand 2^48 float64s if dims were only capped individually. The
+	// total-parameter budget must reject it before allocating.
+	attack := []byte("MLPN")
+	attack = binary.LittleEndian.AppendUint32(attack, 1)     // 1 layer
+	attack = append(attack, 0)                               // dense
+	attack = binary.LittleEndian.AppendUint32(attack, 1<<24) // in
+	attack = binary.LittleEndian.AppendUint32(attack, 1<<24) // out
+	f.Add(attack)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		restored, err := ReadNetwork(bytes.NewReader(data))

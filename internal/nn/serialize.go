@@ -85,6 +85,12 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 	if count > maxLayers {
 		return nil, fmt.Errorf("nn: implausible layer count %d", count)
 	}
+	// Untrusted inputs (policy frames, fuzzed checkpoints) must not be able
+	// to demand unbounded memory: beyond the per-dimension caps, the total
+	// parameter count across the whole network is budgeted, so a header
+	// claiming a 2^24×2^24 dense layer fails before any allocation.
+	const maxTotalParams = 1 << 26
+	var totalParams int64
 	net := &Network{}
 	for i := uint32(0); i < count; i++ {
 		kind, err := readU8(r)
@@ -104,6 +110,10 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 			const maxDim = 1 << 24
 			if in == 0 || out == 0 || in > maxDim || out > maxDim {
 				return nil, fmt.Errorf("nn: implausible dense dims %dx%d", in, out)
+			}
+			totalParams += int64(in)*int64(out) + int64(out)
+			if totalParams > maxTotalParams {
+				return nil, fmt.Errorf("nn: network exceeds %d-parameter budget at layer %d (%dx%d)", int64(maxTotalParams), i, in, out)
 			}
 			d := &Dense{
 				W:     tensor.New(int(in), int(out)),

@@ -107,6 +107,20 @@ func TestReadNetworkRejectsImplausibleDims(t *testing.T) {
 	}
 }
 
+func TestReadNetworkRejectsParamBudgetOverrun(t *testing.T) {
+	// Each dimension alone passes the per-dim cap, but the product blows the
+	// total-parameter budget; the decoder must fail before allocating.
+	var buf bytes.Buffer
+	buf.WriteString(netMagic)
+	writeU32(&buf, 1)
+	writeU8(&buf, kindDense)
+	writeU32(&buf, 1<<24)
+	writeU32(&buf, 1<<24)
+	if _, err := ReadNetwork(&buf); err == nil {
+		t.Fatal("param-budget overrun accepted")
+	}
+}
+
 func TestAdamRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	net := NewMLP(rng, 3, 6, 1)

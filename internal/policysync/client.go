@@ -1,0 +1,215 @@
+package policysync
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"marlperf/internal/nn"
+)
+
+// ClientOptions tune transport behaviour, mirroring expserve.ClientOptions.
+type ClientOptions struct {
+	// Timeout bounds one HTTP round trip on top of any requested long-poll
+	// wait (the request deadline is wait+Timeout). Defaults to 10s.
+	Timeout time.Duration
+	// Attempts is the total tries per request (≥1). Defaults to 4.
+	Attempts int
+	// BaseDelay seeds the exponential backoff between tries; each retry
+	// doubles it and adds up to 50% random jitter so a fleet of actors does
+	// not re-arrive in lockstep. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 2s.
+	MaxDelay time.Duration
+	// JitterSeed seeds the backoff jitter RNG (0 uses a time-derived seed).
+	// Jitter never influences payload bytes, only retry spacing.
+	JitterSeed int64
+}
+
+// Client talks to a policy distribution server. Safe for sequential use;
+// use one per goroutine for concurrency.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts ClientOptions
+	rng  *rand.Rand
+
+	// sleep is the backoff delay function; tests may replace it.
+	sleep func(time.Duration)
+}
+
+// NewClient targets baseURL (e.g. "http://127.0.0.1:9400" or a bare
+// "host:port").
+func NewClient(baseURL string, opts ClientOptions) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Attempts < 1 {
+		opts.Attempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 50 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Second
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{}, // deadlines are per request: long-polls outlive any fixed client timeout
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(seed)),
+		sleep: time.Sleep,
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// doResp runs one request with retries and jittered exponential backoff and
+// returns the first non-retryable response (body fully read). extra widens
+// the per-attempt deadline beyond Timeout — the long-poll hold time.
+func (c *Client) doResp(ctx context.Context, method, path, contentType string, body []byte, extra time.Duration, hdr http.Header) (int, http.Header, []byte, error) {
+	var lastErr error
+	delay := c.opts.BaseDelay
+	for attempt := 1; ; attempt++ {
+		reqCtx, cancel := context.WithTimeout(ctx, c.opts.Timeout+extra)
+		req, err := http.NewRequestWithContext(reqCtx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return 0, nil, nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+			resp.Body.Close()
+			cancel()
+			switch {
+			case rerr != nil:
+				lastErr = fmt.Errorf("policysync: reading %s response: %w", path, rerr)
+			case retryable(resp.StatusCode):
+				lastErr = fmt.Errorf("policysync: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+			default:
+				return resp.StatusCode, resp.Header, data, nil
+			}
+		} else {
+			cancel()
+			lastErr = fmt.Errorf("policysync: %s: %w", path, err)
+		}
+		if attempt >= c.opts.Attempts {
+			return 0, nil, nil, lastErr
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, nil, nil, err
+		}
+		jittered := delay + time.Duration(c.rng.Int63n(int64(delay)/2+1))
+		c.sleep(jittered)
+		delay *= 2
+		if delay > c.opts.MaxDelay {
+			delay = c.opts.MaxDelay
+		}
+	}
+}
+
+// Publish ships one encoded snapshot frame and returns the serving version
+// the store assigned to it.
+func (c *Client) Publish(frame []byte) (uint64, error) {
+	status, _, data, err := c.doResp(context.Background(), http.MethodPost, PathPolicy, "application/octet-stream", frame, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("policysync: publish: server answered %d: %s", status, strings.TrimSpace(string(data)))
+	}
+	var reply publishReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return 0, fmt.Errorf("policysync: decoding publish ack: %w", err)
+	}
+	return reply.Version, nil
+}
+
+// PublishNetworks encodes the per-agent actor networks and publishes them;
+// the learner's one-call path.
+func (c *Client) PublishNetworks(updates uint64, agents []*nn.Network) (uint64, error) {
+	frame, err := EncodeSnapshot(nil, updates, agents)
+	if err != nil {
+		return 0, err
+	}
+	return c.Publish(frame)
+}
+
+// Fetch asks for a snapshot newer than after, holding the request open up to
+// wait server-side. It returns a decoded, version-stamped snapshot, or
+// (nil, nil) when nothing newer exists yet — both "not modified" and "never
+// published" mean keep acting on what you have and poll again.
+func (c *Client) Fetch(ctx context.Context, after uint64, wait time.Duration) (*Snapshot, error) {
+	q := url.Values{}
+	if after > 0 {
+		q.Set("after", fmt.Sprintf("%d", after))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	path := PathPolicy
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	status, hdr, data, err := c.doResp(ctx, http.MethodGet, path, "", nil, wait, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := etagVersion(hdr.Get("ETag")); ok {
+			snap.Version = v
+		}
+		return snap, nil
+	case http.StatusNotModified, http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("policysync: fetch: server answered %d: %s", status, strings.TrimSpace(string(data)))
+	}
+}
+
+// Stats fetches the server's current version, learner update count, and
+// frame size.
+func (c *Client) Stats() (version, updates uint64, bytes int, err error) {
+	status, _, data, err := c.doResp(context.Background(), http.MethodGet, PathStats, "", nil, 0, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if status != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("policysync: stats: server answered %d: %s", status, strings.TrimSpace(string(data)))
+	}
+	var reply statsReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return 0, 0, 0, fmt.Errorf("policysync: decoding stats: %w", err)
+	}
+	return reply.Version, reply.Updates, reply.Bytes, nil
+}

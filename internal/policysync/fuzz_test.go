@@ -1,0 +1,48 @@
+package policysync
+
+import (
+	"math/rand"
+	"testing"
+
+	"marlperf/internal/nn"
+)
+
+// FuzzDecodeSnapshot hardens the policy-frame parser the same way
+// expstore.FuzzParseSegment hardens segment parsing: arbitrary byte strings
+// must either decode to a coherent snapshot or fail cleanly — never panic,
+// never allocate absurdly. The decoder checks the CRC trailer before any
+// bytes reach nn.ReadNetwork, so almost all mutations die at the checksum.
+func FuzzDecodeSnapshot(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	nets := []*nn.Network{nn.NewMLP(rng, 4, 8, 3), nn.NewMLP(rng, 4, 8, 3)}
+	valid, err := EncodeSnapshot(nil, 17, nets)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(frameMagic))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 0xFF
+	f.Add(mutated)
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if len(snap.Agents) == 0 {
+			t.Fatal("decoded snapshot with zero agents")
+		}
+		for i, net := range snap.Agents {
+			if net == nil {
+				t.Fatalf("agent %d decoded to nil network", i)
+			}
+			if net.NumParams() < 0 {
+				t.Fatalf("agent %d has negative param count", i)
+			}
+		}
+	})
+}

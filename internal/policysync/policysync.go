@@ -1,0 +1,144 @@
+// Package policysync closes the learner→actor half of the distributed MARL
+// loop: a versioned store of per-agent actor (policy) network snapshots
+// behind a stdlib HTTP service. The learner publishes its actor weights at a
+// configurable cadence (every k update stages); any number of actors
+// long-poll or ETag-fetch new versions and hot-swap their acting networks
+// atomically between environment steps. Together with the experience service
+// (internal/expserve) this turns the actor/learner split into a closed
+// system: learner → policyd → N actors → replayd → learner.
+//
+// Rollout-training co-design treats versioned weight publication with
+// bounded staleness as the key primitive: actors never block on the learner
+// (they keep acting on the last installed version) and the staleness of the
+// acting policy is observable and bounded by the sync cadence rather than
+// unbounded (the pre-existing marl-actor acted with a frozen -load
+// checkpoint forever).
+//
+// Wire format: one policy snapshot travels as a little-endian binary frame
+// with a CRC32-IEEE trailer, the same framing idiom as expstore segments and
+// expserve batches —
+//
+//	magic "MPOL" | u32 wireVersion | u64 learnerUpdates | u32 numAgents |
+//	per agent: u32 byteLen | MLPN network bytes (nn.Network.WriteTo) |
+//	u32 CRC32-IEEE over every preceding byte
+//
+// The serving version is assigned by the store on publish (monotonic from
+// 1), not carried in the frame, so a restarted learner republishing the
+// same weights still advances every subscriber deterministically.
+package policysync
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"marlperf/internal/nn"
+)
+
+// Endpoint paths served by Server and used by Client.
+const (
+	PathPolicy = "/v1/policy"
+	PathStats  = "/v1/policy/stats"
+)
+
+const (
+	frameMagic  = "MPOL"
+	wireVersion = 1
+
+	// maxWireAgents bounds the per-frame agent count so a hostile header
+	// cannot demand an absurd allocation before the CRC is checked.
+	maxWireAgents = 1 << 12
+	// maxWireNetBytes bounds one serialized network.
+	maxWireNetBytes = 1 << 28
+)
+
+// Snapshot is one decoded policy version: the store-assigned serving
+// version, the learner's update count when it was published, and the
+// per-agent actor networks ready to act with.
+type Snapshot struct {
+	Version uint64 // store-assigned, monotonic from 1 (0: never served)
+	Updates uint64 // learner update-stage count at publish time
+	Agents  []*nn.Network
+}
+
+// EncodeSnapshot frames the per-agent actor networks for publication,
+// appending to dst. The networks are serialized with the same MLPN format
+// checkpoints use, so weights round-trip bit-exactly.
+func EncodeSnapshot(dst []byte, updates uint64, agents []*nn.Network) ([]byte, error) {
+	if len(agents) == 0 || len(agents) > maxWireAgents {
+		return nil, fmt.Errorf("policysync: snapshot needs 1..%d agents, got %d", maxWireAgents, len(agents))
+	}
+	start := len(dst)
+	dst = append(dst, frameMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, wireVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, updates)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(agents)))
+	var netBuf bytes.Buffer
+	for i, net := range agents {
+		netBuf.Reset()
+		if _, err := net.WriteTo(&netBuf); err != nil {
+			return nil, fmt.Errorf("policysync: serializing agent %d actor: %w", i, err)
+		}
+		if netBuf.Len() > maxWireNetBytes {
+			return nil, fmt.Errorf("policysync: agent %d actor serializes to %d bytes (cap %d)", i, netBuf.Len(), maxWireNetBytes)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(netBuf.Len()))
+		dst = append(dst, netBuf.Bytes()...)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:])), nil
+}
+
+// DecodeSnapshot parses and verifies one policy frame. The CRC trailer is
+// checked over the whole frame before any network bytes reach the nn
+// decoder, and every length field is bounded, so hostile or corrupt input
+// fails cleanly instead of panicking or allocating absurdly. The returned
+// snapshot carries Version 0; the transport layer stamps the serving
+// version.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	const header = 4 + 4 + 8 + 4
+	if len(data) < header+4 {
+		return nil, fmt.Errorf("policysync: frame too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != frameMagic {
+		return nil, fmt.Errorf("policysync: bad frame magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != wireVersion {
+		return nil, fmt.Errorf("policysync: frame version %d, want %d", v, wireVersion)
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != want {
+		return nil, fmt.Errorf("policysync: frame checksum mismatch")
+	}
+	updates := binary.LittleEndian.Uint64(data[8:])
+	numAgents := int(binary.LittleEndian.Uint32(data[16:]))
+	if numAgents < 1 || numAgents > maxWireAgents {
+		return nil, fmt.Errorf("policysync: implausible agent count %d", numAgents)
+	}
+	body := data[header : len(data)-4]
+	snap := &Snapshot{Updates: updates, Agents: make([]*nn.Network, 0, numAgents)}
+	for i := 0; i < numAgents; i++ {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("policysync: frame truncated before agent %d length", i)
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if n < 1 || n > maxWireNetBytes || n > len(body) {
+			return nil, fmt.Errorf("policysync: agent %d claims %d network bytes, %d remain", i, n, len(body))
+		}
+		r := bytes.NewReader(body[:n])
+		net, err := nn.ReadNetwork(r)
+		if err != nil {
+			return nil, fmt.Errorf("policysync: agent %d network: %w", i, err)
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("policysync: agent %d network leaves %d undecoded bytes", i, r.Len())
+		}
+		snap.Agents = append(snap.Agents, net)
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("policysync: %d trailing bytes after %d agents", len(body), numAgents)
+	}
+	return snap, nil
+}

@@ -1,0 +1,149 @@
+package policysync
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"marlperf/internal/nn"
+	"marlperf/internal/telemetry"
+)
+
+// Store holds the newest published policy frame under a monotonic serving
+// version and lets fetchers block until a newer one arrives (the long-poll
+// primitive). Publishes validate the frame end to end — CRC and every
+// network decode — before it becomes visible, so a corrupt learner push can
+// never poison subscribers.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	version uint64
+	updates uint64
+	frame   []byte
+	notify  chan struct{} // closed and replaced on every publish
+
+	// OnPublish, when non-nil, is invoked after every accepted publish
+	// (outside the lock) with the new serving version, the learner's update
+	// count, and the frame size. marl-policyd uses it for its log line.
+	OnPublish func(version, updates uint64, bytes int)
+
+	published *telemetry.Counter
+	rejected  *telemetry.Counter
+	versionG  *telemetry.Gauge
+	updatesG  *telemetry.Gauge
+	bytesG    *telemetry.Gauge
+}
+
+// NewStore creates an empty store registering marl_policy_* metrics on reg
+// (nil: a private registry).
+func NewStore(reg *telemetry.Registry) *Store {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	reg.SetHelp("marl_policy_version", "Serving version of the newest published policy snapshot.")
+	reg.SetHelp("marl_policy_published_total", "Policy snapshots accepted for distribution.")
+	return &Store{
+		notify:    make(chan struct{}),
+		published: reg.Counter("marl_policy_published_total"),
+		rejected:  reg.Counter("marl_policy_rejected_total"),
+		versionG:  reg.Gauge("marl_policy_version"),
+		updatesG:  reg.Gauge("marl_policy_learner_updates"),
+		bytesG:    reg.Gauge("marl_policy_bytes"),
+	}
+}
+
+// Publish validates frame and, if intact, makes it the newest version.
+// The frame is retained by reference; callers must not mutate it afterwards.
+func (s *Store) Publish(frame []byte) (uint64, error) {
+	snap, err := DecodeSnapshot(frame)
+	if err != nil {
+		s.rejected.Inc()
+		return 0, err
+	}
+	return s.install(frame, snap.Updates), nil
+}
+
+// PublishNetworks encodes and publishes the per-agent actor networks; the
+// embedded path learners and tests use (no HTTP hop, same validation).
+func (s *Store) PublishNetworks(updates uint64, agents []*nn.Network) (uint64, error) {
+	frame, err := EncodeSnapshot(nil, updates, agents)
+	if err != nil {
+		s.rejected.Inc()
+		return 0, err
+	}
+	return s.install(frame, updates), nil
+}
+
+func (s *Store) install(frame []byte, updates uint64) uint64 {
+	s.mu.Lock()
+	s.version++
+	version := s.version
+	s.updates = updates
+	s.frame = frame
+	close(s.notify)
+	s.notify = make(chan struct{})
+	s.mu.Unlock()
+
+	s.published.Inc()
+	s.versionG.Set(float64(version))
+	s.updatesG.Set(float64(updates))
+	s.bytesG.Set(float64(len(frame)))
+	if s.OnPublish != nil {
+		s.OnPublish(version, updates, len(frame))
+	}
+	return version
+}
+
+// Latest returns the newest version, the learner update count it was
+// published at, and the raw frame (nil if nothing has been published).
+// The frame must be treated as read-only.
+func (s *Store) Latest() (version, updates uint64, frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version, s.updates, s.frame
+}
+
+// Wait blocks until a version newer than after exists or timeout elapses,
+// then returns the newest state (which may still be ≤ after on timeout).
+// A zero or negative timeout returns immediately.
+func (s *Store) Wait(after uint64, timeout time.Duration) (version, updates uint64, frame []byte) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if s.version > after || timeout <= 0 {
+			defer s.mu.Unlock()
+			return s.version, s.updates, s.frame
+		}
+		ch := s.notify
+		s.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return s.Latest()
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return s.Latest()
+		}
+	}
+}
+
+// Decode returns the newest snapshot, fully decoded and stamped with its
+// serving version, or an error if nothing has been published yet. Each call
+// returns freshly built networks, safe to hand to a rollout engine.
+func (s *Store) Decode() (*Snapshot, error) {
+	version, _, frame := s.Latest()
+	if version == 0 {
+		return nil, fmt.Errorf("policysync: no policy published yet")
+	}
+	snap, err := DecodeSnapshot(frame)
+	if err != nil {
+		return nil, err
+	}
+	snap.Version = version
+	return snap, nil
+}

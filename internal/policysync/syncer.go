@@ -1,0 +1,112 @@
+package policysync
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Syncer long-polls a policy server in the background and keeps the newest
+// decoded snapshot behind an atomic pointer, so a rollout loop can pick up
+// fresh weights between env steps without ever blocking on the network. The
+// snapshot pointer is swapped whole — readers see either the old complete
+// policy or the new complete policy, never a torn mix.
+type Syncer struct {
+	client *Client
+	wait   time.Duration
+
+	// OnInstall, when non-nil, runs on the syncer goroutine after each new
+	// version lands (marl-actor logs its hot-swap line here).
+	OnInstall func(snap *Snapshot)
+	// OnError, when non-nil, observes fetch failures (the syncer keeps
+	// polling regardless; actors tolerate a policyd outage by acting on the
+	// last installed version).
+	OnError func(err error)
+
+	latest atomic.Pointer[Snapshot]
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewSyncer wraps client; wait is the long-poll hold per fetch (defaults
+// to 10s).
+func NewSyncer(client *Client, wait time.Duration) *Syncer {
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	return &Syncer{client: client, wait: wait}
+}
+
+// Start launches the polling goroutine. Call Close to stop it.
+func (s *Syncer) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go s.loop(ctx)
+}
+
+func (s *Syncer) loop(ctx context.Context) {
+	defer close(s.done)
+	for ctx.Err() == nil {
+		after := uint64(0)
+		if cur := s.latest.Load(); cur != nil {
+			after = cur.Version
+		}
+		snap, err := s.client.Fetch(ctx, after, s.wait)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			if s.OnError != nil {
+				s.OnError(err)
+			}
+			// The client already backed off per attempt; pause briefly so a
+			// dead server does not spin this loop hot.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(s.wait / 4):
+			}
+		case snap != nil && snap.Version > after:
+			s.latest.Store(snap)
+			if s.OnInstall != nil {
+				s.OnInstall(snap)
+			}
+		}
+	}
+}
+
+// Latest returns the newest snapshot seen so far (nil before the first
+// fetch lands). The snapshot and its networks must be treated as read-only;
+// they may be shared with other readers.
+func (s *Syncer) Latest() *Snapshot { return s.latest.Load() }
+
+// WaitFirst blocks until a first snapshot is installed or timeout elapses,
+// returning it (nil on timeout). Lets an actor that insists on starting from
+// a live policy gate its rollout loop.
+func (s *Syncer) WaitFirst(timeout time.Duration) *Snapshot {
+	deadline := time.Now().Add(timeout)
+	for {
+		if snap := s.latest.Load(); snap != nil {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the polling goroutine and waits for it to exit.
+func (s *Syncer) Close() {
+	s.once.Do(func() {
+		if s.cancel != nil {
+			s.cancel()
+			<-s.done
+		}
+	})
+}

@@ -1,0 +1,397 @@
+// Package rollout is the acting half of the distributed MARL loop: a
+// vectorized engine that steps B environments per actor process with batched
+// forward passes through the acting networks, amortizing per-step dispatch
+// the same way the update engine batches training work.
+//
+// Determinism contract: every environment owns an RNG stream derived from
+// the run seed and its global environment index (see EnvSeed), consumed in a
+// fixed per-env order — Gumbel exploration draws agent-by-agent, then the
+// environment's own internal draws during Step. Batched forwards never touch
+// an RNG and each output row of a dense layer is computed with the same
+// operation order at any batch size, so a B-env engine produces trajectories
+// bit-identical to B single-env engines running the same global indices —
+// the property TestVectorizedMatchesSingleEnv pins down.
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"marlperf/internal/mpe"
+	"marlperf/internal/nn"
+	"marlperf/internal/profiler"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+	"marlperf/internal/tensor"
+)
+
+// envStreamPrime spaces the per-env RNG streams derived from the run seed.
+// Deliberately distinct from core's agentStreamPrime so an actor and a
+// learner sharing one run seed never collide streams.
+const envStreamPrime = 998_244_353
+
+// EnvSeed derives the RNG stream seed for the environment with the given
+// global index (FirstEnvIndex+local slot) from the run seed.
+func EnvSeed(seed int64, globalIdx int) int64 {
+	return seed ^ int64(globalIdx+1)*envStreamPrime
+}
+
+// Config describes a rollout engine.
+type Config struct {
+	// NewEnv constructs one environment instance. Required; called Envs
+	// times, so instances must be independent.
+	NewEnv func() mpe.Env
+	// Envs is the number of environments stepped per Step call (B).
+	// Defaults to 1.
+	Envs int
+	// FirstEnvIndex is the global index of this engine's first environment.
+	// Actor k of a fleet running E envs each passes k·E so every env in the
+	// fleet draws from a distinct RNG stream.
+	FirstEnvIndex int
+	// Seed is the run seed the per-env streams derive from.
+	Seed int64
+	// GumbelTau is the exploration temperature. Defaults to 1.0.
+	GumbelTau float64
+	// MaxEpisodeLen caps episodes (the paper uses 25). Defaults to 25.
+	MaxEpisodeLen int
+	// PerEnvForward disables batched acting: every env forwards its own
+	// 1-row batch. Trajectories are identical either way (forwards consume
+	// no randomness); this is the baseline BenchmarkRolloutVec compares
+	// against.
+	PerEnvForward bool
+	// Sink, when non-nil, receives every transition in (step, env) order.
+	Sink replay.TransitionSink
+	// Prof, when non-nil, receives phase timings (action selection, env
+	// step, replay add); nil keeps an internal profile.
+	Prof *profiler.Profile
+	// Registry, when non-nil, receives marl_rollout_* and marl_policy_*
+	// actor-side metrics.
+	Registry *telemetry.Registry
+}
+
+// Engine steps B environments under one acting policy. It is not safe for
+// concurrent use: Install and Step must come from one goroutine (the actor
+// loop), which is exactly what makes a policy hot-swap between steps torn-
+// read-free — the networks swap whole, never mid-forward.
+type Engine struct {
+	cfg     Config
+	n       int
+	obsDims []int
+	actDim  int
+
+	envs []mpe.Env
+	rngs []*rand.Rand
+
+	agents  []*nn.Network
+	version uint64
+
+	obs     [][][]float64 // [env][agent][obsDim]
+	epStep  []int
+	epRew   []float64
+	lastRew float64
+	steps   uint64
+	eps     uint64
+
+	prof *profiler.Profile
+
+	// Acting scratch.
+	obsMats   []*tensor.Matrix // per agent: B×obsDims[i]
+	logits    []*tensor.Matrix // per agent: B×actDim copy of the forward output
+	obsRow    *tensor.Matrix   // header rebound per (env, agent) in per-env mode
+	probs     [][][]float64    // [env][agent][actDim]
+	actionIdx [][]int          // [env][agent]
+	dones     [][]float64      // [env][agent]
+
+	stepsC    *telemetry.Counter
+	episodesC *telemetry.Counter
+	installsC *telemetry.Counter
+	actingG   *telemetry.Gauge
+	staleG    *telemetry.Gauge
+}
+
+// NewEngine validates cfg, constructs the B environments, seeds their RNG
+// streams, and resets each one. No policy is installed yet; Step fails until
+// the first Install.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.NewEnv == nil {
+		return nil, fmt.Errorf("rollout: Config.NewEnv is required")
+	}
+	if cfg.Envs <= 0 {
+		cfg.Envs = 1
+	}
+	if cfg.FirstEnvIndex < 0 {
+		return nil, fmt.Errorf("rollout: negative FirstEnvIndex %d", cfg.FirstEnvIndex)
+	}
+	if cfg.GumbelTau <= 0 {
+		cfg.GumbelTau = 1.0
+	}
+	if cfg.MaxEpisodeLen <= 0 {
+		cfg.MaxEpisodeLen = 25
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	e := &Engine{
+		cfg:       cfg,
+		prof:      cfg.Prof,
+		stepsC:    reg.Counter("marl_rollout_env_steps_total"),
+		episodesC: reg.Counter("marl_rollout_episodes_total"),
+		installsC: reg.Counter("marl_policy_installs_total"),
+		actingG:   reg.Gauge("marl_policy_acting_version"),
+		staleG:    reg.Gauge("marl_policy_staleness"),
+	}
+	if e.prof == nil {
+		e.prof = &profiler.Profile{}
+	}
+	reg.SetHelp("marl_rollout_env_steps_total", "Environment steps taken across all vectorized envs.")
+	reg.SetHelp("marl_policy_staleness", "Versions the acting policy lags the newest one this actor has seen.")
+
+	b := cfg.Envs
+	e.envs = make([]mpe.Env, b)
+	e.rngs = make([]*rand.Rand, b)
+	e.obs = make([][][]float64, b)
+	for i := 0; i < b; i++ {
+		e.envs[i] = cfg.NewEnv()
+		e.rngs[i] = rand.New(rand.NewSource(EnvSeed(cfg.Seed, cfg.FirstEnvIndex+i)))
+	}
+	e.n = e.envs[0].NumAgents()
+	e.obsDims = e.envs[0].ObsDims()
+	e.actDim = e.envs[0].NumActions()
+	for i, env := range e.envs {
+		if env.NumAgents() != e.n || env.NumActions() != e.actDim {
+			return nil, fmt.Errorf("rollout: env %d disagrees on agent/action counts", i)
+		}
+		e.obs[i] = env.Reset(e.rngs[i])
+	}
+
+	e.epStep = make([]int, b)
+	e.epRew = make([]float64, b)
+	e.obsMats = make([]*tensor.Matrix, e.n)
+	e.logits = make([]*tensor.Matrix, e.n)
+	for i := 0; i < e.n; i++ {
+		e.obsMats[i] = tensor.New(b, e.obsDims[i])
+		e.logits[i] = tensor.New(b, e.actDim)
+	}
+	e.obsRow = tensor.New(1, 0)
+	e.probs = make([][][]float64, b)
+	e.actionIdx = make([][]int, b)
+	e.dones = make([][]float64, b)
+	for env := 0; env < b; env++ {
+		e.probs[env] = make([][]float64, e.n)
+		for i := 0; i < e.n; i++ {
+			e.probs[env][i] = make([]float64, e.actDim)
+		}
+		e.actionIdx[env] = make([]int, e.n)
+		e.dones[env] = make([]float64, e.n)
+	}
+	return e, nil
+}
+
+// checkPolicy verifies the networks' input/output widths against the envs.
+func (e *Engine) checkPolicy(agents []*nn.Network) error {
+	if len(agents) != e.n {
+		return fmt.Errorf("rollout: policy has %d agents, envs have %d", len(agents), e.n)
+	}
+	for i, net := range agents {
+		if net == nil || len(net.Layers) == 0 {
+			return fmt.Errorf("rollout: agent %d network is empty", i)
+		}
+		first, ok := net.Layers[0].(*nn.Dense)
+		if !ok {
+			return fmt.Errorf("rollout: agent %d network does not start with a dense layer", i)
+		}
+		if first.In() != e.obsDims[i] {
+			return fmt.Errorf("rollout: agent %d network wants %d-dim obs, env gives %d", i, first.In(), e.obsDims[i])
+		}
+		last, ok := net.Layers[len(net.Layers)-1].(*nn.Dense)
+		if !ok {
+			return fmt.Errorf("rollout: agent %d network does not end with a dense head", i)
+		}
+		if last.Out() != e.actDim {
+			return fmt.Errorf("rollout: agent %d network emits %d actions, env wants %d", i, last.Out(), e.actDim)
+		}
+	}
+	return nil
+}
+
+// Install hot-swaps the acting policy. version is the policysync serving
+// version (informational; shows up in metrics and PolicyVersion). Call only
+// between Step calls — the engine is single-goroutine by contract, so the
+// swap can never tear a forward pass.
+func (e *Engine) Install(version uint64, agents []*nn.Network) error {
+	if err := e.checkPolicy(agents); err != nil {
+		return err
+	}
+	e.agents = agents
+	e.version = version
+	e.installsC.Inc()
+	e.actingG.Set(float64(version))
+	e.staleG.Set(0)
+	return nil
+}
+
+// NoteKnownVersion records the newest policy version this actor has seen
+// (installed or not), updating the staleness gauge. The actor loop calls it
+// on every sync check, so "how far behind am I acting" is always observable.
+func (e *Engine) NoteKnownVersion(latest uint64) {
+	if latest > e.version {
+		e.staleG.Set(float64(latest - e.version))
+	} else {
+		e.staleG.Set(0)
+	}
+}
+
+// PolicyVersion returns the serving version of the acting policy (0 before
+// the first Install).
+func (e *Engine) PolicyVersion() uint64 { return e.version }
+
+// TotalSteps returns env-steps taken, summed across the vector (one Step
+// call advances Envs of them).
+func (e *Engine) TotalSteps() uint64 { return e.steps }
+
+// Episodes returns completed episodes across the vector.
+func (e *Engine) Episodes() uint64 { return e.eps }
+
+// LastEpisodeReward returns the mean-over-agents summed reward of the most
+// recently completed episode (any env).
+func (e *Engine) LastEpisodeReward() float64 { return e.lastRew }
+
+// Profile returns the engine's phase-timing profile.
+func (e *Engine) Profile() *profiler.Profile { return e.prof }
+
+// NumAgents returns the trainable-agent count of the wrapped envs.
+func (e *Engine) NumAgents() int { return e.n }
+
+// Spec returns the replay spec matching this engine's transitions, with the
+// given buffer capacity.
+func (e *Engine) Spec(capacity int) replay.Spec {
+	return replay.Spec{NumAgents: e.n, ObsDims: e.obsDims, ActDim: e.actDim, Capacity: capacity}
+}
+
+func finiteSlice(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// act fills probs/actionIdx for every (env, agent). Forward passes are
+// batched per agent (or per env in PerEnvForward mode); exploration draws
+// always run env-major then agent-minor, so each env's RNG stream sees the
+// exact sequence a single-env engine would produce.
+func (e *Engine) act() {
+	b := e.cfg.Envs
+	if e.cfg.PerEnvForward {
+		for env := 0; env < b; env++ {
+			for i := 0; i < e.n; i++ {
+				row := e.obsRow
+				row.Rows, row.Cols, row.Data = 1, e.obsDims[i], e.obs[env][i]
+				out := e.agents[i].Forward(row)
+				e.drawAction(env, i, out.Row(0))
+			}
+		}
+		return
+	}
+	for i := 0; i < e.n; i++ {
+		m := e.obsMats[i]
+		w := e.obsDims[i]
+		for env := 0; env < b; env++ {
+			copy(m.Data[env*w:(env+1)*w], e.obs[env][i])
+		}
+		// Copy the logits out: Forward output is owned by the network's
+		// final layer, and nothing stops a caller installing one shared
+		// network for several agents.
+		e.logits[i].CopyFrom(e.agents[i].Forward(m))
+	}
+	for env := 0; env < b; env++ {
+		for i := 0; i < e.n; i++ {
+			e.drawAction(env, i, e.logits[i].Row(env))
+		}
+	}
+}
+
+// drawAction turns one agent's logits row into exploration action probs and
+// a discrete action, mirroring the trainer's interact: Gumbel-softmax
+// exploration with a uniform fallback when a diverged policy emits non-
+// finite values (a poisoned row must never reach the replay service).
+func (e *Engine) drawAction(env, agent int, logitsRow []float64) {
+	rng := e.rngs[env]
+	probs := e.probs[env][agent]
+	nn.GumbelSoftmaxRow(probs, logitsRow, e.cfg.GumbelTau, rng)
+	if !finiteSlice(probs) {
+		uniform := 1 / float64(e.actDim)
+		for k := range probs {
+			probs[k] = uniform
+		}
+		e.actionIdx[env][agent] = rng.Intn(e.actDim)
+		e.prof.Event(profiler.EventActionSanitized, 1)
+		return
+	}
+	e.actionIdx[env][agent] = tensor.ArgMax(probs)
+}
+
+// Step advances every environment by one step: batched action selection,
+// B environment transitions, B replay appends, episode bookkeeping. It
+// returns how many episodes completed on this step (0..Envs). A policy must
+// have been installed.
+func (e *Engine) Step() (int, error) {
+	if e.agents == nil {
+		return 0, fmt.Errorf("rollout: Step before any policy was installed")
+	}
+	b := e.cfg.Envs
+
+	e.prof.Start(profiler.PhaseActionSelection)
+	e.act()
+	e.prof.Stop(profiler.PhaseActionSelection)
+
+	completed := 0
+	for env := 0; env < b; env++ {
+		e.prof.Start(profiler.PhaseEnvStep)
+		nextObs, rewards := e.envs[env].Step(e.actionIdx[env])
+		e.prof.Stop(profiler.PhaseEnvStep)
+
+		e.epStep[env]++
+		var meanRew float64
+		for _, r := range rewards {
+			meanRew += r
+		}
+		e.epRew[env] += meanRew / float64(e.n)
+
+		done := e.epStep[env] >= e.cfg.MaxEpisodeLen
+		flag := 0.0
+		if done {
+			flag = 1
+		}
+		for i := range e.dones[env] {
+			e.dones[env][i] = flag
+		}
+
+		if e.cfg.Sink != nil {
+			e.prof.Start(profiler.PhaseReplayAdd)
+			err := e.cfg.Sink.Add(e.obs[env], e.probs[env], rewards, nextObs, e.dones[env])
+			e.prof.Stop(profiler.PhaseReplayAdd)
+			if err != nil {
+				return completed, fmt.Errorf("rollout: env %d replay add: %w", e.cfg.FirstEnvIndex+env, err)
+			}
+		}
+
+		if done {
+			completed++
+			e.eps++
+			e.episodesC.Inc()
+			e.lastRew = e.epRew[env]
+			e.epRew[env] = 0
+			e.epStep[env] = 0
+			e.obs[env] = e.envs[env].Reset(e.rngs[env])
+		} else {
+			e.obs[env] = nextObs
+		}
+	}
+	e.steps += uint64(b)
+	e.stepsC.Add(uint64(b))
+	return completed, nil
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Five-process full-loop smoke: a real marl-replayd, marl-policyd, two
+# vectorized marl-actors and a learner, wired learner → policyd → actors →
+# replayd → learner. Every binary is built with the race detector (set to
+# halt on the first report), the actors run open-ended until the learner
+# finishes, and the script asserts:
+#
+#   - each actor installs ≥ 2 distinct policy versions (initial + hot-swap);
+#   - the policy service served ≥ 2 versions;
+#   - the experience service ingested and sampled rows (the learner trained
+#     off service-fed replay);
+#   - no process tripped the race detector.
+#
+# Ports/dirs are overridable via REPLAY_PORT / POLICY_PORT / OUT.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REPLAY_PORT=${REPLAY_PORT:-19300}
+POLICY_PORT=${POLICY_PORT:-19400}
+OUT=${OUT:-$(mktemp -d)}
+BIN="$OUT/bin"
+mkdir -p "$BIN"
+
+export GORACE="halt_on_error=1"
+echo "building race-instrumented binaries into $BIN"
+go build -race -o "$BIN/marl-replayd" ./cmd/marl-replayd
+go build -race -o "$BIN/marl-policyd" ./cmd/marl-policyd
+go build -race -o "$BIN/marl-actor" ./cmd/marl-actor
+go build -race -o "$BIN/marl-train" ./cmd/marl-train
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_health() {
+  for _ in $(seq 1 75); do
+    if curl -sf "http://$1/healthz" >/dev/null; then return 0; fi
+    sleep 0.2
+  done
+  echo "service $1 never became healthy" >&2
+  return 1
+}
+
+"$BIN/marl-replayd" -addr "127.0.0.1:$REPLAY_PORT" -dir "$OUT/replay" -env cn -agents 3 \
+  >"$OUT/replayd.log" 2>&1 &
+pids+=($!)
+"$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" >"$OUT/policyd.log" 2>&1 &
+pids+=($!)
+wait_health "127.0.0.1:$REPLAY_PORT"
+wait_health "127.0.0.1:$POLICY_PORT"
+
+# Open-ended actors (-episodes 0): 4 envs each over disjoint global env
+# indices, syncing every 5 engine steps; SIGTERMed once the learner is done.
+"$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+  -env cn -agents 3 -actor-id actor-0 -envs 4 -first-env 0 -sync-every 5 \
+  -episodes 0 -seed 7 -batch-rows 64 -policy-wait 60s >"$OUT/actor0.log" 2>&1 &
+A0=$!
+pids+=("$A0")
+"$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+  -env cn -agents 3 -actor-id actor-1 -envs 4 -first-env 4 -sync-every 5 \
+  -episodes 0 -seed 8 -batch-rows 64 -policy-wait 60s >"$OUT/actor1.log" 2>&1 &
+A1=$!
+pids+=("$A1")
+
+echo "running learner"
+"$BIN/marl-train" -replay-addr "127.0.0.1:$REPLAY_PORT" \
+  -policy-publish-addr "127.0.0.1:$POLICY_PORT" -policy-publish-every 2 \
+  -env cn -agents 3 -episodes 40 -batch 64 -log-every 10 >"$OUT/learner.log" 2>&1
+
+# Stop the actors; exit 3 (interrupted, flushed) and 0 are both clean.
+for pid in "$A0" "$A1"; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in "$A0" "$A1"; do
+  rc=0; wait "$pid" || rc=$?
+  if [ "$rc" != 0 ] && [ "$rc" != 3 ]; then
+    echo "actor (pid $pid) exited $rc" >&2
+    tail -20 "$OUT"/actor*.log >&2
+    exit 1
+  fi
+done
+
+fail() { echo "FAIL: $1" >&2; tail -20 "$OUT"/*.log >&2; exit 1; }
+
+for log in "$OUT/actor0.log" "$OUT/actor1.log"; do
+  versions=$(grep -o 'policy: installed v[0-9]*' "$log" | sort -u | wc -l)
+  if [ "$versions" -lt 2 ]; then
+    fail "$log shows $versions distinct policy versions, want ≥ 2"
+  fi
+  echo "$(basename "$log"): $versions distinct policy versions installed"
+done
+
+stats=$(curl -sf "http://127.0.0.1:$POLICY_PORT/v1/policy/stats")
+version=$(printf '%s' "$stats" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')
+[ "${version:-0}" -ge 2 ] || fail "policyd served version $version, want ≥ 2"
+echo "policyd served $version versions"
+
+metrics=$(curl -sf "http://127.0.0.1:$REPLAY_PORT/metrics")
+echo "$metrics" | grep '^marl_exp_ingest_rows_total' | awk '{exit !($2 > 0)}' \
+  || fail "experience service ingested no rows"
+echo "$metrics" | grep '^marl_exp_sample_requests_total' | awk '{exit !($2 > 0)}' \
+  || fail "learner never sampled from the experience service"
+
+if grep -l 'WARNING: DATA RACE' "$OUT"/*.log 2>/dev/null; then
+  fail "race detector fired (see logs above)"
+fi
+
+echo "cluster smoke OK (logs in $OUT)"
