@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-workers bench-rollout cluster-smoke examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers bench-rollout cluster-smoke chaos-smoke examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -32,6 +32,12 @@ bench-rollout:
 # race-instrumented, asserting ≥2 policy hot-swaps per actor.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Five-process chaos smoke: seeded kills, a policyd partition and a 10%
+# drop rule on the replay edge; asserts the loop completes with zero
+# experience loss and both daemons drain cleanly on SIGTERM.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +31,7 @@ import (
 
 	"marlperf"
 	"marlperf/internal/expserve"
+	"marlperf/internal/faultnet"
 	"marlperf/internal/mpe"
 	"marlperf/internal/nn"
 	"marlperf/internal/policysync"
@@ -65,6 +67,12 @@ func run() int {
 		batchRows   = flag.Int("batch-rows", 512, "transitions per shipped append batch")
 		logEvery    = flag.Int("log-every", 20, "episodes between progress lines")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz here (empty: disabled)")
+		spoolDir    = flag.String("spool-dir", "", "spool experience batches here while the experience service is unreachable; drained in order on recovery (empty: outages fail the actor)")
+		spoolMaxMB  = flag.Int("spool-max-mb", 1024, "spool size cap in MiB; a full spool stops collection instead of filling the disk")
+		maxStale    = flag.Duration("max-staleness", 0, "pause collection when the policy service has been silent this long (0: act on the last snapshot indefinitely)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector (-chaos-replay/-chaos-policy)")
+		chaosReplay = flag.String("chaos-replay", "", `inject faults on the replay edge, e.g. "drop=0.1,delay=5ms,delayp=0.2" (testing)`)
+		chaosPolicy = flag.String("chaos-policy", "", "inject faults on the policy edge (same spec syntax; testing)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-actor [flags]
@@ -115,26 +123,94 @@ Flags:
 		Capacity:  cfg.BufferCapacity,
 	}
 
-	client := expserve.NewClient(*replayAddr, expserve.ClientOptions{})
+	registry := telemetry.NewRegistry()
+
+	// Optional deterministic fault injection on either network edge; the
+	// chaos harness uses it to prove the resilience paths under a fixed
+	// seed. Counts are reported at exit.
+	var chaos *faultnet.Injector
+	var replayTransport, policyTransport http.RoundTripper
+	if *chaosReplay != "" || *chaosPolicy != "" {
+		chaos = faultnet.New(*chaosSeed)
+		if *chaosReplay != "" {
+			rule, err := faultnet.ParseRule(*chaosReplay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-chaos-replay:", err)
+				return exitUsage
+			}
+			if err := chaos.SetRule("replay", rule); err != nil {
+				fmt.Fprintln(os.Stderr, "-chaos-replay:", err)
+				return exitUsage
+			}
+			replayTransport = chaos.RoundTripper("replay", nil)
+		}
+		if *chaosPolicy != "" {
+			rule, err := faultnet.ParseRule(*chaosPolicy)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-chaos-policy:", err)
+				return exitUsage
+			}
+			if err := chaos.SetRule("policy", rule); err != nil {
+				fmt.Fprintln(os.Stderr, "-chaos-policy:", err)
+				return exitUsage
+			}
+			policyTransport = chaos.RoundTripper("policy", nil)
+		}
+		fmt.Printf("chaos: seed %d replay=%q policy=%q\n", *chaosSeed, *chaosReplay, *chaosPolicy)
+	}
+
+	client := expserve.NewClient(*replayAddr, expserve.ClientOptions{
+		Registry:  registry,
+		Transport: replayTransport,
+	})
 	sink, err := expserve.NewRemoteSink(client, *actorID, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return exitError
 	}
 	sink.MaxBatchRows = *batchRows
-	// Fail fast (and validate the shape) before collecting anything.
-	serverSpec, _, _, err := client.Stats()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experience service unreachable:", err)
-		return exitError
+	// Validate the shape before collecting anything, and pick up this
+	// actor's applied-append cursor so a restart under the same -actor-id
+	// does not replay sequence numbers the server will silently dedup.
+	// With a spool armed, an unreachable service is survivable: warn and
+	// start collecting into the spool.
+	if st, err := client.ServiceStats(); err != nil {
+		if *spoolDir == "" {
+			fmt.Fprintln(os.Stderr, "experience service unreachable:", err)
+			return exitError
+		}
+		fmt.Fprintln(os.Stderr, "experience service unreachable; spooling until it recovers:", err)
+	} else {
+		if st.Spec.NumAgents != spec.NumAgents || st.Spec.ActDim != spec.ActDim {
+			fmt.Fprintf(os.Stderr, "service shape mismatch: it stores %d agents × %d actions, this env has %d × %d\n",
+				st.Spec.NumAgents, st.Spec.ActDim, spec.NumAgents, spec.ActDim)
+			return exitUsage
+		}
+		if cursor, ok := st.Actors[*actorID]; ok {
+			sink.SkipTo(cursor)
+			fmt.Printf("resuming append stream %q at seq %d\n", *actorID, cursor+1)
+		}
 	}
-	if serverSpec.NumAgents != spec.NumAgents || serverSpec.ActDim != spec.ActDim {
-		fmt.Fprintf(os.Stderr, "service shape mismatch: it stores %d agents × %d actions, this env has %d × %d\n",
-			serverSpec.NumAgents, serverSpec.ActDim, spec.NumAgents, spec.ActDim)
-		return exitUsage
+	if *spoolDir != "" {
+		if err := sink.EnableSpool(expserve.SpoolOptions{
+			Dir:      *spoolDir,
+			MaxBytes: int64(*spoolMaxMB) << 20,
+			Registry: registry,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "enabling spool:", err)
+			return exitError
+		}
+		sink.OnSpool = func(queued int, cause error) {
+			fmt.Fprintf(os.Stderr, "spool: diverted batch to disk (%d queued): %v\n", queued, cause)
+		}
+		sink.OnDrain = func(batches int) {
+			fmt.Fprintf(os.Stderr, "spool: drained %d batch(es) to the service\n", batches)
+		}
+		if n := sink.SpoolLen(); n > 0 {
+			fmt.Printf("spool: %d batch(es) left over in %s; draining with new traffic\n", n, *spoolDir)
+		}
 	}
 
-	registry := telemetry.NewRegistry()
 	if *metricsAddr != "" {
 		ms, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: registry})
 		if err != nil {
@@ -164,7 +240,11 @@ Flags:
 	// snapshots in between engine steps.
 	var syncer *policysync.Syncer
 	if *policyAddr != "" {
-		syncer = policysync.NewSyncer(policysync.NewClient(*policyAddr, policysync.ClientOptions{}), 10*time.Second)
+		pc := policysync.NewClient(*policyAddr, policysync.ClientOptions{
+			Registry:  registry,
+			Transport: policyTransport,
+		})
+		syncer = policysync.NewSyncer(pc, 10*time.Second)
 		syncer.OnError = func(err error) { fmt.Fprintln(os.Stderr, "policy fetch:", err) }
 		syncer.Start()
 		defer syncer.Close()
@@ -187,7 +267,41 @@ Flags:
 	completed := 0
 	interrupted := false
 	nextLog := *logEvery
+	stalePaused := false
 	for engineSteps := 0; (*episodes == 0 || completed < *episodes) && !interrupted; engineSteps++ {
+		// Bounded-staleness guard: acting on an old snapshot is fine for a
+		// while (the syncer keeps whatever landed last), but past the hard
+		// cap the experience would drift too far off-policy — pause
+		// collection until the policy service answers again.
+		if syncer != nil && *maxStale > 0 {
+			for {
+				gap := time.Since(syncer.LastContact())
+				if gap <= *maxStale {
+					break
+				}
+				if !stalePaused {
+					stalePaused = true
+					fmt.Fprintf(os.Stderr, "policy staleness %v exceeds cap %v; pausing collection\n",
+						gap.Round(time.Second), *maxStale)
+				}
+				select {
+				case sig := <-sigCh:
+					fmt.Fprintf(os.Stderr, "\n%v: flushing and stopping\n", sig)
+					interrupted = true
+				case <-time.After(200 * time.Millisecond):
+				}
+				if interrupted {
+					break
+				}
+			}
+			if stalePaused && !interrupted {
+				stalePaused = false
+				fmt.Fprintln(os.Stderr, "policy service back in contact; resuming collection")
+			}
+			if interrupted {
+				break
+			}
+		}
 		if syncer != nil && engineSteps%*syncEvery == 0 {
 			if snap := syncer.Latest(); snap != nil {
 				eng.NoteKnownVersion(snap.Version)
@@ -222,6 +336,22 @@ Flags:
 	if err := sink.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "final flush:", err)
 		return exitError
+	}
+	// With a spool armed, the final flush may have diverted to disk (or a
+	// backlog may remain); give draining one last try so a clean shutdown
+	// leaves nothing behind when the service is up.
+	if *spoolDir != "" && sink.SpoolLen() > 0 {
+		if err := sink.DrainSpool(); err != nil {
+			fmt.Fprintf(os.Stderr, "spool: %d batch(es) remain in %s (service still unreachable: %v); they drain on the next run\n",
+				sink.SpoolLen(), *spoolDir, err)
+		}
+	}
+	if chaos != nil {
+		for _, edge := range chaos.Edges() {
+			c := chaos.Counts(edge)
+			fmt.Printf("chaos[%s]: %d requests, %d dropped, %d errored, %d delayed\n",
+				edge, c.Requests, c.Dropped, c.Errored, c.Delayed)
+		}
 	}
 	fmt.Printf("done: %d episodes, %d transitions published, final policy v%d in %v\n",
 		completed, eng.TotalSteps(), eng.PolicyVersion(), time.Since(start).Round(time.Millisecond))

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -43,6 +44,7 @@ func run() int {
 		maxWait  = flag.Duration("max-wait", 30*time.Second, "cap on one long-poll hold")
 		maxFrame = flag.Int64("max-frame-bytes", 256<<20, "largest accepted policy snapshot")
 		quiet    = flag.Bool("quiet", false, "suppress the per-publish log line")
+		drain    = flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight responses on SIGINT/SIGTERM")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-policyd [flags]
@@ -109,8 +111,25 @@ Flags:
 
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "\n%v: shutting down\n", sig)
-		hs.Close()
+		// Graceful drain: release every parked long-poll immediately (each
+		// fetcher gets the current version and reconnects elsewhere or
+		// retries), then let in-flight responses finish writing.
+		fmt.Fprintf(os.Stderr, "\n%v: draining long-polls (timeout %v)\n", sig, *drain)
+		store.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		go func() {
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(os.Stderr, "%v: forcing shutdown\n", sig)
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		cancel()
+		fmt.Fprintln(os.Stderr, "drained; exiting")
 		return exitOK
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {

@@ -19,12 +19,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"marlperf"
 	"marlperf/internal/expserve"
@@ -51,6 +54,7 @@ func run() int {
 		segRows  = flag.Int("segment-rows", expstore.DefaultSegmentRows, "rows per segment file before rotation")
 		queue    = flag.Int("queue-depth", 64, "ingest queue depth in batches; a full queue answers 429")
 		maxRows  = flag.Int("max-sample-rows", 4096, "largest mini-batch one sample request may ask for")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and the ingest queue on SIGINT/SIGTERM")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-replayd [flags]
@@ -110,6 +114,13 @@ Flags:
 		fmt.Println("store: volatile in-memory ring (no -dir)")
 	}
 
+	// With a durable store the dedup sidecar lives beside the segments, so
+	// the exactly-once cursor survives the same crashes the rows do.
+	dedupPath := ""
+	if *dir != "" {
+		dedupPath = filepath.Join(*dir, "dedup.log")
+	}
+
 	registry := telemetry.NewRegistry()
 	srv, err := expserve.NewServer(expserve.ServerConfig{
 		Provider:      provider,
@@ -117,6 +128,7 @@ Flags:
 		QueueDepth:    *queue,
 		MaxSampleRows: *maxRows,
 		Registry:      registry,
+		DedupLogPath:  dedupPath,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -148,8 +160,26 @@ Flags:
 
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "\n%v: shutting down\n", sig)
-		hs.Close()
+		// Graceful drain: stop accepting connections and let in-flight
+		// requests finish, then drain the ingest queue so every acknowledged
+		// batch is flushed to the store before exit. A second signal (or the
+		// drain timeout) forces the issue.
+		fmt.Fprintf(os.Stderr, "\n%v: draining (timeout %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		go func() {
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(os.Stderr, "%v: forcing shutdown\n", sig)
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		cancel()
+		srv.Close() // blocks until the ingest queue is applied and flushed
+		fmt.Fprintln(os.Stderr, "drained; exiting")
 		return exitOK
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {

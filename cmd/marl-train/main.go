@@ -68,8 +68,9 @@ func run() int {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /profilez, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
 
-		replayAddr = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
-		actorID    = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
+		replayAddr  = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
+		actorID     = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
+		replayRetry = flag.Duration("replay-retry", 2*time.Minute, "ride out an experience-service outage this long (retries with backoff) before failing the run")
 
 		policyAddr  = flag.String("policy-publish-addr", "", "publish actor weights to a policy service (marl-policyd) at this address")
 		policyEvery = flag.Int("policy-publish-every", 1, "update stages between policy publishes (with -policy-publish-addr)")
@@ -177,6 +178,11 @@ Flags:
 		return exitUsage
 	}
 
+	// One registry for the whole process: trainer phase metrics, the two
+	// network clients' retry/circuit series, and the run-info gauge all
+	// land on the same /metrics page.
+	registry := telemetry.NewRegistry()
+
 	tr, err := marlperf.NewTrainer(cfg, env)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -184,7 +190,7 @@ Flags:
 	}
 	defer tr.Close()
 	if *replayAddr != "" {
-		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID); err != nil {
+		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, registry); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
@@ -206,7 +212,7 @@ Flags:
 		fmt.Printf("restored checkpoint from %s (%d steps, %d updates)\n", *loadPath, tr.TotalSteps(), tr.UpdateCount())
 	}
 
-	tel, err := setupTelemetry(tr, *metricsAddr, *runlogPath, telemetryInfo{
+	tel, err := setupTelemetry(tr, registry, *metricsAddr, *runlogPath, telemetryInfo{
 		algo: *algoName, env: env.Name(), sampler: *sampler,
 	})
 	if err != nil {
@@ -240,7 +246,12 @@ Flags:
 	// never see a staler policy than the learner is actually training.
 	var pub *policyPublisher
 	if *policyAddr != "" {
-		pub = newPolicyPublisher(*policyAddr, *policyEvery)
+		pub = newPolicyPublisher(*policyAddr, *policyEvery, registry)
+		pub.onOutageEnd = func(w outageWindow) {
+			fmt.Fprintf(os.Stderr, "policy publish recovered after %v (%d updates ran unpublished)\n",
+				w.End.Sub(w.Start).Round(time.Millisecond), w.Updates)
+			tel.recordOutage(w)
+		}
 		if v, err := pub.publish(tr); err != nil {
 			fmt.Fprintln(os.Stderr, "warning: initial policy publish failed:", err)
 		} else {
@@ -321,6 +332,14 @@ Flags:
 		default:
 		}
 	}
+	// Push any experience still buffered in the sink before reporting: the
+	// service must end the run holding every row this process collected.
+	if *replayAddr != "" {
+		if err := tr.FlushExperience(); err != nil {
+			fmt.Fprintln(os.Stderr, "final experience flush:", err)
+			return exitError
+		}
+	}
 	if store != nil {
 		if err := saveSnapshot(store, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "final snapshot:", err)
@@ -335,6 +354,13 @@ Flags:
 			fmt.Fprintln(os.Stderr, "warning: final policy publish failed:", err)
 		} else {
 			fmt.Printf("policy: published final version v%d (%d updates)\n", v, tr.UpdateCount())
+		}
+		// An outage still open at exit never saw a recovery edge; surface
+		// the window as open-ended so the run log accounts for every gap.
+		if w, open := pub.openOutage(tr); open {
+			fmt.Fprintf(os.Stderr, "policy publish still failing at exit (outage began %v ago; %d updates unpublished)\n",
+				time.Since(w.Start).Round(time.Millisecond), w.Updates)
+			tel.recordOutage(w)
 		}
 	}
 
@@ -377,7 +403,7 @@ Flags:
 // everything this learner collects itself is published back under
 // actorID so the service's row count gates updates exactly as a local
 // buffer would.
-func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string) error {
+func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, reg *telemetry.Registry) error {
 	plan, err := cfg.SamplePlan()
 	if err != nil {
 		return err
@@ -388,7 +414,14 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 		ActDim:    env.NumActions(),
 		Capacity:  cfg.BufferCapacity,
 	}
-	client := expserve.NewClient(addr, expserve.ClientOptions{})
+	// The learner would rather ride a replayd restart out than die mid-run:
+	// generous attempts, with -replay-retry as the real bound on how long
+	// one request may keep trying.
+	client := expserve.NewClient(addr, expserve.ClientOptions{
+		Attempts:      1000,
+		TotalDeadline: retryFor,
+		Registry:      reg,
+	})
 	src, err := expserve.NewRemoteSource(client, spec, plan)
 	if err != nil {
 		return err
@@ -410,29 +443,138 @@ type policyPublisher struct {
 	publishedAt int  // UpdateCount at the last successful publish
 	failing     bool // suppress repeated warnings during an outage
 	frame       []byte
+
+	// Cadence publishes ship on their own goroutine (one in flight at a
+	// time) so a policyd outage or partition slows distribution, never
+	// training. All bookkeeping stays on the training goroutine; the
+	// shipper only touches its frame and the results channel.
+	busy    bool
+	results chan pubResult
+
+	// failingSince/lastErr track the current publish-outage window;
+	// onOutageEnd (when non-nil) observes each window as it closes.
+	failingSince time.Time
+	lastErr      error
+	onOutageEnd  func(outageWindow)
 }
 
-func newPolicyPublisher(addr string, every int) *policyPublisher {
-	return &policyPublisher{client: policysync.NewClient(addr, policysync.ClientOptions{}), every: every, publishedAt: -1}
+// pubResult is one finished background publish.
+type pubResult struct {
+	version uint64
+	updates int
+	err     error
 }
 
-// maybePublish publishes when at least `every` update stages ran since the
-// last successful publish.
+// outageWindow is one contiguous stretch of failed policy publishes, as
+// recorded in the run log. End is the recovery time (zero while the window
+// is still open at exit); Updates is how many update stages ran during the
+// window with no version reaching subscribers.
+type outageWindow struct {
+	Event   string    `json:"event"` // always "outage"
+	Edge    string    `json:"edge"`  // always "policy_publish"
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end,omitempty"`
+	Updates int       `json:"updates"`
+	Error   string    `json:"error,omitempty"`
+}
+
+func newPolicyPublisher(addr string, every int, reg *telemetry.Registry) *policyPublisher {
+	return &policyPublisher{
+		client:      policysync.NewClient(addr, policysync.ClientOptions{Registry: reg}),
+		every:       every,
+		publishedAt: -1,
+		results:     make(chan pubResult, 1),
+	}
+}
+
+// maybePublish starts a background publish when at least `every` update
+// stages ran since the last successful one and no ship is already in
+// flight. It never blocks the training loop.
 func (p *policyPublisher) maybePublish(tr *marlperf.Trainer) {
-	if p.publishedAt >= 0 && tr.UpdateCount()-p.publishedAt < p.every {
+	p.reap(false)
+	if p.busy {
 		return
 	}
-	if _, err := p.publish(tr); err != nil {
-		if !p.failing {
-			p.failing = true
+	updates := tr.UpdateCount()
+	if p.publishedAt >= 0 && updates-p.publishedAt < p.every {
+		return
+	}
+	// Encode on the training goroutine (the networks are only quiescent
+	// here) into a fresh frame the shipper owns outright.
+	frame, err := policysync.EncodeSnapshot(nil, uint64(updates), tr.ActorNetworks())
+	if err != nil {
+		p.noteFailure(err, false)
+		return
+	}
+	p.busy = true
+	go func() {
+		v, err := p.client.Publish(frame)
+		p.results <- pubResult{version: v, updates: updates, err: err}
+	}()
+}
+
+// reap collects a finished background publish, blocking for an in-flight
+// one when block is set (the sync path uses that to keep versions ordered).
+func (p *policyPublisher) reap(block bool) {
+	if !p.busy {
+		return
+	}
+	if block {
+		p.handle(<-p.results)
+		return
+	}
+	select {
+	case r := <-p.results:
+		p.handle(r)
+	default:
+	}
+}
+
+func (p *policyPublisher) handle(r pubResult) {
+	p.busy = false
+	if r.err != nil {
+		p.noteFailure(r.err, false)
+		return
+	}
+	p.noteSuccess(r.updates)
+}
+
+func (p *policyPublisher) noteFailure(err error, quiet bool) {
+	if !p.failing {
+		p.failing = true
+		p.failingSince = time.Now()
+		if !quiet {
 			fmt.Fprintln(os.Stderr, "warning: policy publish failed (will keep retrying):", err)
 		}
 	}
+	p.lastErr = err
 }
 
-// publish encodes and ships the current actor networks, returning the
-// serving version the policy service assigned.
+// noteSuccess advances the cadence cursor and closes any open outage
+// window.
+func (p *policyPublisher) noteSuccess(updates int) {
+	if p.failing && p.onOutageEnd != nil {
+		unpublished := updates - p.publishedAt
+		if p.publishedAt < 0 {
+			unpublished = updates
+		}
+		p.onOutageEnd(outageWindow{
+			Event: "outage", Edge: "policy_publish",
+			Start: p.failingSince, End: time.Now(),
+			Updates: unpublished,
+			Error:   fmt.Sprint(p.lastErr),
+		})
+	}
+	p.failing = false
+	p.publishedAt = updates
+}
+
+// publish synchronously encodes and ships the current actor networks,
+// returning the serving version the policy service assigned. Used for the
+// initial and final publishes, where blocking is the point; any in-flight
+// background ship is drained first so versions reach the service in order.
 func (p *policyPublisher) publish(tr *marlperf.Trainer) (uint64, error) {
+	p.reap(true)
 	updates := tr.UpdateCount()
 	frame, err := policysync.EncodeSnapshot(p.frame[:0], uint64(updates), tr.ActorNetworks())
 	if err != nil {
@@ -441,11 +583,30 @@ func (p *policyPublisher) publish(tr *marlperf.Trainer) (uint64, error) {
 	p.frame = frame
 	v, err := p.client.Publish(frame)
 	if err != nil {
+		// The call sites warn with their own context; just keep the
+		// outage window honest.
+		p.noteFailure(err, true)
 		return 0, err
 	}
-	p.publishedAt = updates
-	p.failing = false
+	p.noteSuccess(updates)
 	return v, nil
+}
+
+// openOutage reports the still-failing window at exit, if any.
+func (p *policyPublisher) openOutage(tr *marlperf.Trainer) (outageWindow, bool) {
+	if !p.failing {
+		return outageWindow{}, false
+	}
+	w := outageWindow{
+		Event: "outage", Edge: "policy_publish",
+		Start:   p.failingSince,
+		Updates: tr.UpdateCount() - p.publishedAt,
+		Error:   fmt.Sprint(p.lastErr),
+	}
+	if p.publishedAt < 0 {
+		w.Updates = tr.UpdateCount()
+	}
+	return w, true
 }
 
 // resumeFromStore restores trainer, replay experience and RNG state from the
@@ -542,11 +703,13 @@ type telemetryState struct {
 }
 
 // setupTelemetry builds whatever the flags enable and attaches the phase
-// observer and per-update listener to the trainer.
-func setupTelemetry(tr *marlperf.Trainer, metricsAddr, runlogPath string, info telemetryInfo) (*telemetryState, error) {
+// observer and per-update listener to the trainer. reg is the process-wide
+// registry (network clients already report into it); the /metrics server
+// only starts when metricsAddr is set.
+func setupTelemetry(tr *marlperf.Trainer, reg *telemetry.Registry, metricsAddr, runlogPath string, info telemetryInfo) (*telemetryState, error) {
 	tel := &telemetryState{}
 	if metricsAddr != "" {
-		tel.registry = telemetry.NewRegistry()
+		tel.registry = reg
 		tr.SetPhaseObserver(telemetry.NewPhaseCollector(tel.registry))
 		tel.profSnap = &telemetry.JSONSnapshot{}
 		tel.registry.SetHelp("marl_run_info", "Constant 1, labelled with the run's workload identity.")
@@ -599,6 +762,19 @@ func setupTelemetry(tr *marlperf.Trainer, metricsAddr, runlogPath string, info t
 		}
 	})
 	return tel, nil
+}
+
+// recordOutage appends one publish-outage window to the run log (when one
+// is armed), so post-hoc analysis can align reward dips with distribution
+// gaps. Safe on the zero value.
+func (tel *telemetryState) recordOutage(w outageWindow) {
+	if tel.runLog == nil {
+		return
+	}
+	if err := tel.runLog.Append(w); err != nil && !tel.runLogErrOnce {
+		tel.runLogErrOnce = true
+		fmt.Fprintln(os.Stderr, "warning: run log append failed:", err)
+	}
 }
 
 // refresh republishes the /profilez snapshot and pushes buffered run-log

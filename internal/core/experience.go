@@ -51,6 +51,18 @@ func (t *Trainer) SetExperienceService(source replay.TransitionSource, sink repl
 	return nil
 }
 
+// FlushExperience publishes any transitions still buffered in the
+// experience sink. The update gate flushes on its own cadence during
+// training; call this at end of run so the service holds every row this
+// process collected (the zero-experience-loss accounting the chaos smoke
+// checks). No-op without a sink.
+func (t *Trainer) FlushExperience() error {
+	if t.expSink == nil {
+		return nil
+	}
+	return t.expSink.Flush()
+}
+
 // ExperienceErr returns the first error recorded by the experience service
 // paths (remote sampling or publishing) and clears it.
 func (t *Trainer) ExperienceErr() error {

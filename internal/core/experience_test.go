@@ -9,6 +9,7 @@ import (
 
 	"marlperf/internal/expserve"
 	"marlperf/internal/expstore"
+	"marlperf/internal/faultnet"
 	"marlperf/internal/mpe"
 	"marlperf/internal/replay"
 )
@@ -238,4 +239,69 @@ type brokenSource struct{}
 func (brokenSource) Len() (int, error) { return 0, fmt.Errorf("service unreachable") }
 func (brokenSource) SampleBatch(int, int64, []*replay.AgentBatch) ([]int, error) {
 	return nil, fmt.Errorf("service unreachable")
+}
+
+// The chaos-mode acceptance criterion, proven in-process: a full training
+// run whose every HTTP exchange with the experience service rides through
+// injected drops, 5xx answers and delays must produce a checkpoint
+// bit-identical to the fault-free run. Faults that only delay (never lose)
+// committed data cost wall-clock, never bits.
+func TestRemoteTrainingBitIdenticalUnderInjectedFaults(t *testing.T) {
+	cfg := expConfig(SamplerLocality)
+	env := mpe.NewCooperativeNavigation(2)
+	spec := expSpec(cfg, env)
+	plan, err := cfg.SamplePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(inj *faultnet.Injector) []byte {
+		t.Helper()
+		store := expstore.NewRing(spec)
+		srv, err := expserve.NewServer(expserve.ServerConfig{Provider: store, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv)
+		defer func() { hs.Close(); srv.Close() }()
+		opts := expserve.ClientOptions{
+			Timeout:    10 * time.Second,
+			Attempts:   12,
+			BaseDelay:  time.Millisecond,
+			MaxDelay:   5 * time.Millisecond,
+			JitterSeed: 1,
+			// Never fail fast: the run must ride every injected fault out.
+			BreakerThreshold: -1,
+		}
+		if inj != nil {
+			opts.Transport = inj.RoundTripper("actor→replay", nil)
+		}
+		client := expserve.NewClient(hs.URL, opts)
+		src, err := expserve.NewRemoteSource(client, spec, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink, err := expserve.NewRemoteSink(client, "actor-0", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt, tr := runServiceTrainer(t, cfg, src, sink, 3)
+		tr.Close()
+		return ckpt
+	}
+
+	clean := run(nil)
+
+	inj := faultnet.New(99)
+	if err := inj.SetRule("actor→replay", faultnet.Rule{Drop: 0.08, Error: 0.08, Delay: 200 * time.Microsecond, DelayProb: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	faulted := run(inj)
+
+	if c := inj.Counts("actor→replay"); c.Dropped == 0 && c.Errored == 0 {
+		t.Fatalf("fault injection never fired (%+v); the run proved nothing", c)
+	}
+	if !bytes.Equal(clean, faulted) {
+		t.Fatalf("training through a faulty transport diverged: checkpoints differ (%d vs %d bytes)", len(clean), len(faulted))
+	}
 }

@@ -1,20 +1,22 @@
 package expserve
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"marlperf/internal/netretry"
 	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
 )
 
-// ClientOptions tune transport behaviour.
+// ClientOptions tune transport behaviour. Retry, backoff and circuit
+// breaking are delegated to the shared netretry core — the same resilience
+// implementation the policy client uses.
 type ClientOptions struct {
 	// Timeout bounds one HTTP round trip. Defaults to 10s.
 	Timeout time.Duration
@@ -35,122 +37,129 @@ type ClientOptions struct {
 	// with a TotalDeadline matched to how long an outage it will tolerate
 	// before surfacing the failure.
 	TotalDeadline time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// contact failures (0 = netretry default, negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open probe interval (0 = MaxDelay).
+	BreakerCooldown time.Duration
+	// Edge labels this client's retry/circuit metrics; defaults to
+	// "replay".
+	Edge string
+	// Registry receives marl_retry_*/marl_circuit_* metrics; nil keeps
+	// them private.
+	Registry *telemetry.Registry
+	// Transport overrides the HTTP transport (fault injectors hook here).
+	Transport http.RoundTripper
 }
 
 // Client talks to an experience server. Safe for sequential use; wrap with
 // external locking (or use one per goroutine) for concurrency.
 type Client struct {
-	base string
-	hc   *http.Client
-	opts ClientOptions
-	rng  *rand.Rand
-
-	// sleep is the backoff delay function; tests may replace it.
-	sleep func(time.Duration)
+	core *netretry.Client
 }
 
 // NewClient targets baseURL (e.g. "http://127.0.0.1:9300" or a bare
 // "host:port").
 func NewClient(baseURL string, opts ClientOptions) *Client {
-	if !strings.Contains(baseURL, "://") {
-		baseURL = "http://" + baseURL
+	if opts.Edge == "" {
+		opts.Edge = "replay"
 	}
-	if opts.Timeout <= 0 {
-		opts.Timeout = 10 * time.Second
-	}
-	if opts.Attempts < 1 {
-		opts.Attempts = 4
-	}
-	if opts.BaseDelay <= 0 {
-		opts.BaseDelay = 50 * time.Millisecond
-	}
-	if opts.MaxDelay <= 0 {
-		opts.MaxDelay = 2 * time.Second
-	}
-	seed := opts.JitterSeed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	return &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		hc:    &http.Client{Timeout: opts.Timeout},
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(seed)),
-		sleep: time.Sleep,
-	}
+	core := netretry.New(baseURL, netretry.Options{
+		Timeout:          opts.Timeout,
+		Attempts:         opts.Attempts,
+		BaseDelay:        opts.BaseDelay,
+		MaxDelay:         opts.MaxDelay,
+		JitterSeed:       opts.JitterSeed,
+		TotalDeadline:    opts.TotalDeadline,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+		Edge:             opts.Edge,
+		Registry:         opts.Registry,
+		Transport:        opts.Transport,
+	})
+	return &Client{core: core}
 }
 
-// retryable reports whether a response status is worth retrying: the
-// server's explicit backpressure signal plus transient server-side errors.
-func retryable(status int) bool {
-	return status == http.StatusTooManyRequests || status >= 500
+// Breaker exposes the client's circuit breaker state.
+func (c *Client) Breaker() *netretry.Breaker { return c.core.Breaker() }
+
+// StatusError is a definitive non-OK server answer (4xx that is not
+// backpressure) — a rejection, not an outage.
+type StatusError struct {
+	Path   string
+	Status int
+	Msg    string
 }
 
-// do runs one request with retries and jittered exponential backoff,
-// returning the response body of the first success. Transport errors and
-// retryable statuses back off; other statuses fail immediately with the
-// server's message.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("expserve: %s: server answered %d: %s", e.Path, e.Status, e.Msg)
+}
+
+// do runs one request through the shared retry core, returning the
+// response body of the first success. failFast short-circuits while the
+// circuit breaker is open — the spool path uses it to shed load off a
+// dead server instead of stalling the actor.
 func (c *Client) do(method, path string, contentType string, body []byte) ([]byte, error) {
-	var lastErr error
-	delay := c.opts.BaseDelay
-	var deadline time.Time
-	if c.opts.TotalDeadline > 0 {
-		deadline = time.Now().Add(c.opts.TotalDeadline)
+	return c.doMode(method, path, contentType, body, false)
+}
+
+func (c *Client) doMode(method, path string, contentType string, body []byte, failFast bool) ([]byte, error) {
+	resp, err := c.core.Do(context.Background(), netretry.Request{
+		Method:      method,
+		Path:        path,
+		ContentType: contentType,
+		Body:        body,
+		FailFast:    failFast,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for attempt := 1; ; attempt++ {
-		req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
-		}
-		resp, err := c.hc.Do(req)
-		if err == nil {
-			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-			resp.Body.Close()
-			switch {
-			case rerr != nil:
-				lastErr = fmt.Errorf("expserve: reading %s response: %w", path, rerr)
-			case resp.StatusCode == http.StatusOK:
-				return data, nil
-			case retryable(resp.StatusCode):
-				lastErr = fmt.Errorf("expserve: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
-			default:
-				return nil, fmt.Errorf("expserve: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
-			}
-		} else {
-			lastErr = fmt.Errorf("expserve: %s: %w", path, err)
-		}
-		if attempt >= c.opts.Attempts {
-			return nil, lastErr
-		}
-		jittered := delay + time.Duration(c.rng.Int63n(int64(delay)/2+1))
-		// Never start a sleep that would overrun the total deadline: fail now
-		// with the underlying cause rather than burning the caller's budget.
-		if !deadline.IsZero() && time.Now().Add(jittered).After(deadline) {
-			return nil, fmt.Errorf("expserve: %s: total retry deadline %v exhausted after %d attempts: %w",
-				path, c.opts.TotalDeadline, attempt, lastErr)
-		}
-		c.sleep(jittered)
-		delay *= 2
-		if delay > c.opts.MaxDelay {
-			delay = c.opts.MaxDelay
-		}
+	if resp.Status != http.StatusOK {
+		return nil, &StatusError{Path: path, Status: resp.Status, Msg: strings.TrimSpace(string(resp.Body))}
 	}
+	return resp.Body, nil
+}
+
+// isOutage reports whether err means the server is unreachable or
+// persistently failing (spool-worthy), as opposed to a definitive
+// rejection.
+func isOutage(err error) bool { return netretry.Outage(err) }
+
+// ServiceStats is the server's /v1/stats document: spec, occupancy, and
+// the newest applied append sequence per actor.
+type ServiceStats struct {
+	Spec   replay.Spec
+	Rows   int
+	Total  uint64
+	Actors map[string]uint64
+}
+
+// ServiceStats fetches the server's spec, occupancy and per-actor append
+// cursors.
+func (c *Client) ServiceStats() (ServiceStats, error) {
+	data, err := c.do(http.MethodGet, PathStats, "", nil)
+	if err != nil {
+		return ServiceStats{}, err
+	}
+	var reply statsReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return ServiceStats{}, fmt.Errorf("expserve: decoding stats: %w", err)
+	}
+	return ServiceStats{
+		Spec:   reply.Spec.spec(),
+		Rows:   reply.Store.Rows,
+		Total:  reply.Store.Total,
+		Actors: reply.Actors,
+	}, nil
 }
 
 // Stats fetches the server's spec and occupancy.
 func (c *Client) Stats() (replay.Spec, int, uint64, error) {
-	data, err := c.do(http.MethodGet, PathStats, "", nil)
+	st, err := c.ServiceStats()
 	if err != nil {
 		return replay.Spec{}, 0, 0, err
 	}
-	var reply statsReply
-	if err := json.Unmarshal(data, &reply); err != nil {
-		return replay.Spec{}, 0, 0, fmt.Errorf("expserve: decoding stats: %w", err)
-	}
-	return reply.Spec.spec(), reply.Store.Rows, reply.Store.Total, nil
+	return st.Spec, st.Rows, st.Total, nil
 }
 
 // RemoteSource samples mini-batches from an experience server, implementing
@@ -239,6 +248,10 @@ func (s *RemoteSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) 
 // the sink's actor ID and a monotonic sequence number, so a retried append
 // that already landed is acknowledged as a duplicate instead of doubling
 // experience.
+//
+// With EnableSpool armed, an unreachable server no longer fails the sink:
+// batches divert to a local spool directory and drain — in sequence order —
+// once the server answers again. See spool.go.
 type RemoteSink struct {
 	c       *Client
 	actorID string
@@ -248,10 +261,21 @@ type RemoteSink struct {
 	// reaches it. Defaults to 512.
 	MaxBatchRows int
 
+	// OnSpool, when non-nil, observes every batch diverted to the spool
+	// (err is the ship failure that caused the diversion, nil for batches
+	// queued behind earlier spooled ones). queued is the spool depth after
+	// the diversion.
+	OnSpool func(queued int, err error)
+	// OnDrain, when non-nil, observes every completed spool drain with the
+	// number of batches shipped.
+	OnDrain func(batches int)
+
 	batchSeq uint64
 	buf      []float64
 	n        int
 	encBuf   []byte
+
+	spool *spool
 }
 
 // NewRemoteSink creates a sink publishing as actorID.
@@ -261,6 +285,19 @@ func NewRemoteSink(c *Client, actorID string, spec replay.Spec) (*RemoteSink, er
 	}
 	return &RemoteSink{c: c, actorID: actorID, layout: replay.NewRowLayout(spec), MaxBatchRows: 512}, nil
 }
+
+// SkipTo fast-forwards the sink's sequence counter to seq if it is ahead
+// of the local one. An actor restarting under the same ID calls this with
+// the server's cursor (ServiceStats().Actors) so its fresh stream is not
+// silently deduplicated against its previous incarnation's.
+func (s *RemoteSink) SkipTo(seq uint64) {
+	if seq > s.batchSeq {
+		s.batchSeq = seq
+	}
+}
+
+// Seq returns the last assigned batch sequence number.
+func (s *RemoteSink) Seq() uint64 { return s.batchSeq }
 
 // Add implements replay.TransitionSink: pack locally, auto-flushing at
 // MaxBatchRows.
@@ -281,23 +318,68 @@ func (s *RemoteSink) Add(obs, act [][]float64, rew []float64, nextObs [][]float6
 	return nil
 }
 
+// doAppend ships one encoded append frame and validates the ack.
+func (s *RemoteSink) doAppend(frame []byte, failFast bool) (appendReply, error) {
+	data, err := s.c.doMode(http.MethodPost, PathAppend, "application/octet-stream", frame, failFast)
+	if err != nil {
+		return appendReply{}, err
+	}
+	var reply appendReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return appendReply{}, fmt.Errorf("expserve: decoding append ack: %w", err)
+	}
+	return reply, nil
+}
+
 // Flush implements replay.TransitionSink: ship the buffered rows as one
 // idempotent append batch and wait for the server's ack (which implies the
-// store accepted and flushed them).
+// store accepted and flushed them). With a spool armed, an outage diverts
+// the batch to disk instead of failing — order is preserved by spooling
+// every subsequent batch until the backlog drains.
 func (s *RemoteSink) Flush() error {
+	if s.spool != nil && s.spool.len() > 0 {
+		// A backlog exists: drain it first so sequence order holds. While
+		// the server is still down, the pending rows join the backlog.
+		if err := s.drainSpool(true); err != nil {
+			if !isOutage(err) {
+				return err
+			}
+			return s.spoolPending(nil)
+		}
+	}
 	if s.n == 0 {
 		return nil
 	}
 	s.batchSeq++
 	batch := appendBatch{ActorID: s.actorID, BatchSeq: s.batchSeq, Rows: s.buf, N: s.n}
 	s.encBuf = encodeAppend(s.encBuf[:0], batch, s.layout.Stride())
-	data, err := s.c.do(http.MethodPost, PathAppend, "application/octet-stream", s.encBuf)
-	if err != nil {
+	// With a spool armed, fail fast while the breaker is open: the batch
+	// has a local home, so there is no reason to stall the rollout loop.
+	_, err := s.doAppend(s.encBuf, s.spool != nil)
+	if err == nil {
+		s.n = 0
+		return nil
+	}
+	if s.spool == nil || !isOutage(err) {
 		return err
 	}
-	var reply appendReply
-	if err := json.Unmarshal(data, &reply); err != nil {
-		return fmt.Errorf("expserve: decoding append ack: %w", err)
+	if serr := s.spoolFrame(s.encBuf, s.batchSeq, s.n, err); serr != nil {
+		return serr
+	}
+	s.n = 0
+	return nil
+}
+
+// spoolPending diverts the buffered-but-unshipped rows to the spool.
+func (s *RemoteSink) spoolPending(cause error) error {
+	if s.n == 0 {
+		return nil
+	}
+	s.batchSeq++
+	batch := appendBatch{ActorID: s.actorID, BatchSeq: s.batchSeq, Rows: s.buf, N: s.n}
+	s.encBuf = encodeAppend(s.encBuf[:0], batch, s.layout.Stride())
+	if err := s.spoolFrame(s.encBuf, s.batchSeq, s.n, cause); err != nil {
+		return err
 	}
 	s.n = 0
 	return nil

@@ -2,10 +2,13 @@ package expserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -34,6 +37,17 @@ type ServerConfig struct {
 	MaxSampleRows int
 	// Registry receives service metrics; nil creates a private registry.
 	Registry *telemetry.Registry
+	// DedupLogPath, when set, makes the per-(actor,seq) idempotency cursor
+	// durable and exact to the row: before a batch touches the store, one
+	// JSONL intent record {actor, seq, base, n} is appended, where base is
+	// the store's pre-apply row total. A restarted server replays the log
+	// against the recovered total to classify each batch as fully applied
+	// (cursor advances — redelivery is acknowledged as a duplicate),
+	// untouched (redelivery applies normally), or torn mid-flush by the
+	// kill (redelivery applies only the rows the truncated tail lost, so
+	// the surviving prefix is never doubled). Meaningful with a durable
+	// provider; empty keeps the cursor in memory only.
+	DedupLogPath string
 }
 
 // ingestJob is one queued append batch; done carries the synchronous ack.
@@ -64,8 +78,22 @@ type Server struct {
 	// Ring deliberately has none), so the server guards the boundary itself.
 	provMu sync.RWMutex
 
-	queue chan ingestJob
-	stop  chan struct{}
+	queue   chan ingestJob
+	stop    chan struct{}
+	drained chan struct{} // closed when the ingest writer has exited
+	closed  sync.Once
+
+	// lastSeq is the per-actor idempotency cursor. Written only by the
+	// single ingest writer under provMu.Lock; read by handleStats under
+	// provMu.RLock.
+	lastSeq map[string]uint64
+	// partial records batches a kill tore mid-flush: the first `rows` rows
+	// of batch `seq` are already durable, so a redelivery must skip them.
+	// Populated from the dedup log on recovery, cleared on redelivery.
+	partial    map[string]partialApply
+	dedupPath  string
+	dedupF     *os.File
+	dedupBytes int64
 
 	// Ingest metrics.
 	ingestRows     *telemetry.Counter
@@ -109,10 +137,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	reg.SetHelp("marl_exp_ingest_rows_total", "Transition rows ingested into the experience store.")
 	reg.SetHelp("marl_exp_sample_requests_total", "Sample requests served by the experience store.")
 	s := &Server{
-		cfg:    cfg,
-		layout: layout,
-		queue:  make(chan ingestJob, cfg.QueueDepth),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		layout:  layout,
+		queue:   make(chan ingestJob, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+		lastSeq: make(map[string]uint64),
+		partial: make(map[string]partialApply),
 
 		ingestRows:     reg.Counter("marl_exp_ingest_rows_total"),
 		ingestBatches:  reg.Counter("marl_exp_ingest_batches_total"),
@@ -126,12 +157,213 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		storeRows:      reg.Gauge("marl_exp_store_rows"),
 		storeSegments:  reg.Gauge("marl_exp_store_segments"),
 	}
+	if cfg.DedupLogPath != "" {
+		if err := s.openDedupLog(cfg.DedupLogPath); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(PathAppend, s.handleAppend)
 	s.mux.HandleFunc(PathSample, s.handleSample)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	go s.ingestLoop()
 	return s, nil
+}
+
+// dedupRecord is one line of the durable idempotency log. Three forms share
+// it: an *intent* (N > 0) written before a batch's rows move, carrying the
+// store's pre-apply row total in Base; a *cursor* (N == 0, PartialRows == 0)
+// written by compaction — and the only form pre-intent logs contain — which
+// asserts seq fully applied; and a *partial* (PartialRows > 0), compaction's
+// way of persisting a torn batch whose first PartialRows rows are durable.
+type dedupRecord struct {
+	Actor       string `json:"actor"`
+	Seq         uint64 `json:"seq"`
+	Base        uint64 `json:"base,omitempty"`
+	N           int    `json:"n,omitempty"`
+	PartialRows int    `json:"partial_rows,omitempty"`
+}
+
+// partialApply is recovered torn-batch state: the first rows rows of batch
+// seq are already in the store, so a redelivery must apply only the rest.
+type partialApply struct {
+	seq  uint64
+	rows int
+}
+
+// dedupCompactBytes triggers a rewrite of the dedup log to one record per
+// actor once the append-only file grows past it.
+const dedupCompactBytes = 4 << 20
+
+// openDedupLog loads the durable idempotency state and opens the log for
+// appending. Each intent is classified against the provider's recovered row
+// total: fully applied (total covers base+n), torn mid-flush (total strictly
+// inside the batch — the truncated store kept a row-aligned prefix), or
+// untouched. Ingest is strictly serial — intent k+1 is appended only after
+// batch k was applied, flushed and acked — so only an actor's last record
+// can be torn or untouched; every earlier one is provably applied. The log
+// shares RunLog's JSONL framing, so a tail torn by a kill mid-append is
+// tolerated: the batch it described was never acknowledged, and redelivery
+// applies it from scratch.
+func (s *Server) openDedupLog(path string) error {
+	var total uint64
+	hasTotal := false
+	if st, ok := s.cfg.Provider.(statser); ok {
+		total, hasTotal = st.Stats().Total, true
+	}
+	if f, err := os.Open(path); err == nil {
+		_, serr := telemetry.ScanRunLog(f, func(line json.RawMessage) error {
+			var r dedupRecord
+			if err := json.Unmarshal(line, &r); err != nil {
+				return err
+			}
+			if r.Seq == 0 {
+				// Client seqs start at 1; 0 would underflow the seq-1
+				// cursor math below.
+				return nil
+			}
+			// Any record above an actor's partial seq proves that batch
+			// finished after all: serial ingest writes nothing about seq
+			// k+1 until k is fully applied.
+			if p, ok := s.partial[r.Actor]; ok && p.seq < r.Seq {
+				if p.seq > s.lastSeq[r.Actor] {
+					s.lastSeq[r.Actor] = p.seq
+				}
+				delete(s.partial, r.Actor)
+			}
+			cursorTo := func(seq uint64) {
+				if seq > s.lastSeq[r.Actor] {
+					s.lastSeq[r.Actor] = seq
+				}
+			}
+			switch {
+			case r.PartialRows > 0:
+				s.partial[r.Actor] = partialApply{seq: r.Seq, rows: r.PartialRows}
+				cursorTo(r.Seq - 1)
+			case r.N == 0:
+				cursorTo(r.Seq)
+				if p, ok := s.partial[r.Actor]; ok && p.seq <= r.Seq {
+					delete(s.partial, r.Actor)
+				}
+			case hasTotal && total >= r.Base+uint64(r.N):
+				cursorTo(r.Seq)
+				if p, ok := s.partial[r.Actor]; ok && p.seq <= r.Seq {
+					delete(s.partial, r.Actor)
+				}
+			case hasTotal && total > r.Base:
+				s.partial[r.Actor] = partialApply{seq: r.Seq, rows: int(total - r.Base)}
+				cursorTo(r.Seq - 1)
+			default:
+				// Untouched — or the provider recovers no rows (volatile
+				// Ring), in which case re-applying is exactly right.
+				cursorTo(r.Seq - 1)
+			}
+			return nil
+		})
+		f.Close()
+		if serr != nil {
+			return fmt.Errorf("expserve: dedup log %s: %w", path, serr)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("expserve: dedup log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("expserve: dedup log: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("expserve: dedup log: %w", err)
+	}
+	s.dedupPath, s.dedupF, s.dedupBytes = path, f, fi.Size()
+	return nil
+}
+
+// recordIntent makes a batch durable as an intent *before* its rows move:
+// base is the store total as-if the batch had zero rows applied (a partial
+// redelivery subtracts its already-durable prefix), so on recovery
+// total-base counts exactly how many of the batch's n rows survived.
+// Compaction runs before the append — never after — so the fresh intent is
+// not immediately rewritten into cursor form while its apply is still in
+// flight. Called by the single ingest writer under provMu.Lock.
+func (s *Server) recordIntent(actor string, seq, base uint64, n int) error {
+	if s.dedupF == nil {
+		return nil
+	}
+	if s.dedupBytes > dedupCompactBytes {
+		if err := s.compactDedupLog(); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(dedupRecord{Actor: actor, Seq: seq, Base: base, N: n})
+	if err != nil {
+		return err
+	}
+	wn, werr := s.dedupF.Write(append(line, '\n'))
+	s.dedupBytes += int64(wn)
+	if werr != nil {
+		return fmt.Errorf("expserve: dedup log: %w", werr)
+	}
+	return nil
+}
+
+// compactDedupLog rewrites the append-only log to one cursor record per
+// actor — plus a partial record for any still-torn batch, so the skip
+// survives compaction — then renames over the original and reopens it.
+func (s *Server) compactDedupLog() error {
+	tmp := s.dedupPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("expserve: compacting dedup log: %w", err)
+	}
+	writeRec := func(r dedupRecord) error {
+		line, err := json.Marshal(r)
+		if err == nil {
+			_, err = f.Write(append(line, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("expserve: compacting dedup log: %w", err)
+		}
+		return nil
+	}
+	for actor, seq := range s.lastSeq {
+		if err := writeRec(dedupRecord{Actor: actor, Seq: seq}); err != nil {
+			return err
+		}
+	}
+	for actor, p := range s.partial {
+		if err := writeRec(dedupRecord{Actor: actor, Seq: p.seq, PartialRows: p.rows}); err != nil {
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("expserve: compacting dedup log: %w", err)
+	}
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("expserve: compacting dedup log: %w", err)
+	}
+	if err := os.Rename(tmp, s.dedupPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("expserve: compacting dedup log: %w", err)
+	}
+	s.dedupF.Close()
+	nf, err := os.OpenFile(s.dedupPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.dedupF = nil
+		return fmt.Errorf("expserve: reopening dedup log: %w", err)
+	}
+	s.dedupF, s.dedupBytes = nf, size
+	return nil
 }
 
 // Handler returns the service mux, for mounting alongside other endpoints
@@ -141,10 +373,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the ingest writer. In-flight jobs are drained first so no
-// acknowledged batch is lost.
+// Close stops the ingest writer and waits for it to drain: in-flight jobs
+// are applied first so no acknowledged batch is lost, then the dedup log
+// (if any) is closed. Idempotent.
 func (s *Server) Close() error {
-	close(s.stop)
+	s.closed.Do(func() { close(s.stop) })
+	<-s.drained
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
+	if s.dedupF != nil {
+		s.dedupF.Close()
+		s.dedupF = nil
+	}
 	return nil
 }
 
@@ -153,17 +393,17 @@ func (s *Server) Close() error {
 // means per-actor order is trivially preserved and RowCount is exact the
 // moment an ack returns — the property the determinism contract needs.
 func (s *Server) ingestLoop() {
-	lastSeq := make(map[string]uint64)
+	defer close(s.drained)
 	for {
 		select {
 		case job := <-s.queue:
-			job.done <- s.applyBatch(lastSeq, job.batch)
+			job.done <- s.applyBatch(job.batch)
 		case <-s.stop:
 			// Drain anything already queued, then exit.
 			for {
 				select {
 				case job := <-s.queue:
-					job.done <- s.applyBatch(lastSeq, job.batch)
+					job.done <- s.applyBatch(job.batch)
 				default:
 					return
 				}
@@ -172,16 +412,35 @@ func (s *Server) ingestLoop() {
 	}
 }
 
-func (s *Server) applyBatch(lastSeq map[string]uint64, b appendBatch) ingestResult {
+func (s *Server) applyBatch(b appendBatch) ingestResult {
 	start := time.Now()
 	s.provMu.Lock()
 	defer s.provMu.Unlock()
-	if applied, ok := lastSeq[b.ActorID]; ok && b.BatchSeq <= applied {
+	if applied, ok := s.lastSeq[b.ActorID]; ok && b.BatchSeq <= applied {
 		s.ingestDups.Inc()
 		return ingestResult{rows: s.cfg.Provider.RowCount(), dup: true}
 	}
+	// A redelivery of a batch a kill tore mid-flush skips the prefix the
+	// truncated store already holds — the frame is byte-identical (the
+	// actor replays the exact CRC-framed payload from its spool), so the
+	// suffix lines up row for row.
+	skip := 0
+	if p, ok := s.partial[b.ActorID]; ok && p.seq == b.BatchSeq && p.rows > 0 && p.rows < b.N {
+		skip = p.rows
+	}
+	// The intent goes durable before any row does. Its base is backdated
+	// past the already-durable prefix so a recovery scan sees total-base
+	// as this batch's full durable row count, whichever attempt wrote it.
+	var base uint64
+	if st, ok := s.cfg.Provider.(statser); ok {
+		base = st.Stats().Total - uint64(skip)
+	}
+	if err := s.recordIntent(b.ActorID, b.BatchSeq, base, b.N); err != nil {
+		// Nothing was applied; fail the ack and let the client retry.
+		return ingestResult{err: err}
+	}
 	stride := s.layout.Stride()
-	for k := 0; k < b.N; k++ {
+	for k := skip; k < b.N; k++ {
 		if err := s.cfg.Provider.AppendRow(b.Rows[k*stride : (k+1)*stride]); err != nil {
 			return ingestResult{err: err}
 		}
@@ -189,9 +448,10 @@ func (s *Server) applyBatch(lastSeq map[string]uint64, b appendBatch) ingestResu
 	if err := s.cfg.Provider.Flush(); err != nil {
 		return ingestResult{err: err}
 	}
-	lastSeq[b.ActorID] = b.BatchSeq
+	s.lastSeq[b.ActorID] = b.BatchSeq
+	delete(s.partial, b.ActorID)
 	s.ingestBatches.Inc()
-	s.ingestRows.Add(uint64(b.N))
+	s.ingestRows.Add(uint64(b.N - skip))
 	s.appendSeconds.Observe(time.Since(start).Seconds())
 	rows := s.cfg.Provider.RowCount()
 	s.updateGauges(rows)
@@ -288,7 +548,9 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(encodeSampleReply(nil, idx, rows, stride))
 }
 
-// handleStats reports the spec and occupancy as JSON.
+// handleStats reports the spec, occupancy and per-actor append cursors as
+// JSON. The cursors let a restarted actor resume its sequence stream past
+// what the server already applied instead of colliding with the dedup map.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var st expstore.Stats
 	s.provMu.RLock()
@@ -299,10 +561,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Total = s.ingestRows.Value()
 		st.Stride = s.layout.Stride()
 	}
+	actors := make(map[string]uint64, len(s.lastSeq))
+	for a, seq := range s.lastSeq {
+		actors[a] = seq
+	}
 	s.updateGauges(st.Rows)
 	s.provMu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(statsReply{Spec: specToWire(s.cfg.Spec), Store: st})
+	_ = json.NewEncoder(w).Encode(statsReply{Spec: specToWire(s.cfg.Spec), Store: st, Actors: actors})
 }
 
 // ListenAndServe is a convenience for tests and the replayd binary: bind

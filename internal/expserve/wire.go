@@ -191,8 +191,10 @@ func (w specWire) spec() replay.Spec {
 	return replay.Spec{NumAgents: w.NumAgents, ObsDims: w.ObsDims, ActDim: w.ActDim, Capacity: w.Capacity}
 }
 
-// statsReply is the stats endpoint's JSON document.
+// statsReply is the stats endpoint's JSON document. Actors maps each
+// actor ID to the newest applied append sequence (the idempotency cursor).
 type statsReply struct {
-	Spec  specWire       `json:"spec"`
-	Store expstore.Stats `json:"store"`
+	Spec   specWire          `json:"spec"`
+	Store  expstore.Stats    `json:"store"`
+	Actors map[string]uint64 `json:"actors,omitempty"`
 }

@@ -1,0 +1,305 @@
+// Package faultnet is a deterministic, seed-driven network fault
+// injector. It wraps http.RoundTripper (client side) and http.Handler
+// (server side) to drop, delay, error or partition traffic per named
+// edge, with schedules that are a pure function of (seed, edge name,
+// request order) — the same seed replays the same fault pattern, which is
+// what lets the chaos smoke and the full-loop race test assert exact
+// outcomes under injected failures.
+//
+// Each edge owns an independent RNG stream seeded with seed ^ fnv64(edge),
+// so adding an edge or reordering traffic on one edge never perturbs the
+// schedule of another. Every request draws the same number of variates
+// regardless of the rule in force, so toggling (say) delays on and off
+// does not shift the drop schedule.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every client-side fault this package
+// fabricates; errors.Is(err, ErrInjected) identifies injected faults in
+// test assertions.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Rule describes the faults applied to one edge. Zero value = pass
+// everything through.
+type Rule struct {
+	// Drop is the probability [0,1] a request is blackholed: the client
+	// side sees a transport error, the server side an aborted connection.
+	Drop float64
+	// Error is the probability [0,1] a request is answered with Status
+	// without reaching the wrapped transport/handler.
+	Error float64
+	// Status is the synthesized error status (default 503).
+	Status int
+	// Delay stalls matching requests before forwarding.
+	Delay time.Duration
+	// DelayProb is the probability a request is delayed; 0 with Delay set
+	// means every request.
+	DelayProb float64
+}
+
+func (r Rule) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", r.Drop}, {"error", r.Error}, {"delayp", r.DelayProb}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultnet: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if r.Delay < 0 {
+		return fmt.Errorf("faultnet: negative delay %v", r.Delay)
+	}
+	return nil
+}
+
+// Counts is a snapshot of one edge's traffic and injected faults.
+type Counts struct {
+	Requests    uint64 // total requests seen
+	Dropped     uint64 // blackholed by probability
+	Errored     uint64 // answered with a synthesized error status
+	Delayed     uint64 // stalled before forwarding
+	Partitioned uint64 // blackholed by an active partition
+}
+
+type fate int
+
+const (
+	fateForward fate = iota
+	fateDrop
+	fateError
+)
+
+type edge struct {
+	mu          sync.Mutex
+	name        string
+	rule        Rule
+	rng         *rand.Rand
+	partitioned bool
+	counts      Counts
+}
+
+// decide draws this request's fate. All three variates are always drawn
+// so the stream stays aligned across rule changes.
+func (e *edge) decide() (fate, int, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.counts.Requests++
+	uDrop, uErr, uDelay := e.rng.Float64(), e.rng.Float64(), e.rng.Float64()
+	if e.partitioned {
+		e.counts.Partitioned++
+		return fateDrop, 0, 0
+	}
+	r := e.rule
+	if uDrop < r.Drop {
+		e.counts.Dropped++
+		return fateDrop, 0, 0
+	}
+	if uErr < r.Error {
+		e.counts.Errored++
+		status := r.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		return fateError, status, 0
+	}
+	if r.Delay > 0 {
+		dp := r.DelayProb
+		if dp == 0 {
+			dp = 1
+		}
+		if uDelay < dp {
+			e.counts.Delayed++
+			return fateForward, 0, r.Delay
+		}
+	}
+	return fateForward, 0, 0
+}
+
+// Injector holds per-edge fault state. One injector is typically shared
+// by every wrapped transport/handler of a process so a test or the chaos
+// harness can steer all edges from one place.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	edges map[string]*edge
+}
+
+// New builds an injector whose per-edge schedules derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, edges: make(map[string]*edge)}
+}
+
+// Seed returns the injector's root seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+func (in *Injector) edgeFor(name string) *edge {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	e := in.edges[name]
+	if e == nil {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		e = &edge{name: name, rng: rand.New(rand.NewSource(in.seed ^ int64(h.Sum64())))}
+		in.edges[name] = e
+	}
+	return e
+}
+
+// SetRule installs (replacing) the fault rule for an edge.
+func (in *Injector) SetRule(name string, r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	e := in.edgeFor(name)
+	e.mu.Lock()
+	e.rule = r
+	e.mu.Unlock()
+	return nil
+}
+
+// Partition blackholes (on=true) or heals (on=false) an edge,
+// independently of its probabilistic rule.
+func (in *Injector) Partition(name string, on bool) {
+	e := in.edgeFor(name)
+	e.mu.Lock()
+	e.partitioned = on
+	e.mu.Unlock()
+}
+
+// Counts returns a snapshot of an edge's traffic counters.
+func (in *Injector) Counts(name string) Counts {
+	e := in.edgeFor(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts
+}
+
+// Edges returns the names of all edges seen so far.
+func (in *Injector) Edges() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.edges))
+	for n := range in.edges {
+		names = append(names, n)
+	}
+	return names
+}
+
+type roundTripper struct {
+	edge *edge
+	base http.RoundTripper
+}
+
+// RoundTripper wraps base (nil = http.DefaultTransport) with the edge's
+// fault rule. Dropped requests surface as transport errors wrapping
+// ErrInjected — exactly what an unreachable peer looks like to a client.
+func (in *Injector) RoundTripper(name string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{edge: in.edgeFor(name), base: base}
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, status, delay := rt.edge.decide()
+	switch f {
+	case fateDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: request dropped on edge %q", ErrInjected, rt.edge.name)
+	case fateError:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode: status,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:    http.NoBody,
+			Request: req,
+		}, nil
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	return rt.base.RoundTrip(req)
+}
+
+// Handler wraps h with the edge's fault rule on the server side. Dropped
+// requests abort the connection mid-response (the client sees a transport
+// error), errored requests answer with the rule's status.
+func (in *Injector) Handler(name string, h http.Handler) http.Handler {
+	e := in.edgeFor(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, status, delay := e.decide()
+		switch f {
+		case fateDrop:
+			panic(http.ErrAbortHandler)
+		case fateError:
+			http.Error(w, "faultnet: injected error", status)
+			return
+		}
+		if delay > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(delay):
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// ParseRule parses a comma-separated "k=v" fault spec, e.g.
+// "drop=0.1,delay=5ms,delayp=0.2,error=0.05,status=502". Unknown keys are
+// errors; an empty spec is the zero Rule.
+func ParseRule(spec string) (Rule, error) {
+	var r Rule
+	if strings.TrimSpace(spec) == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return r, fmt.Errorf("faultnet: bad rule term %q (want k=v)", part)
+		}
+		k, v := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		var err error
+		switch k {
+		case "drop":
+			r.Drop, err = strconv.ParseFloat(v, 64)
+		case "error", "err":
+			r.Error, err = strconv.ParseFloat(v, 64)
+		case "delayp":
+			r.DelayProb, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			r.Delay, err = time.ParseDuration(v)
+		case "status":
+			r.Status, err = strconv.Atoi(v)
+		default:
+			return r, fmt.Errorf("faultnet: unknown rule key %q", k)
+		}
+		if err != nil {
+			return r, fmt.Errorf("faultnet: rule term %q: %w", part, err)
+		}
+	}
+	return r, r.validate()
+}

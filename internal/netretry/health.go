@@ -1,0 +1,47 @@
+package netretry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ProbeHealth performs one GET <base>/healthz with its own timeout and
+// returns nil iff the service answered 200.
+func ProbeHealth(baseURL string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(NormalizeBase(baseURL) + "/healthz")
+	if err != nil {
+		return fmt.Errorf("netretry: health probe: %w", err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("netretry: health probe: %s answered %d", baseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// WaitHealthy polls ProbeHealth every interval until the service answers
+// 200 or ctx is done, returning the last probe error in the latter case.
+func WaitHealthy(ctx context.Context, baseURL string, interval, probeTimeout time.Duration) error {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	var last error
+	for {
+		if last = ProbeHealth(baseURL, probeTimeout); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("netretry: %s never became healthy: %w (last probe: %v)", baseURL, ctx.Err(), last)
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,21 +1,22 @@
 package policysync
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
 
+	"marlperf/internal/netretry"
 	"marlperf/internal/nn"
+	"marlperf/internal/telemetry"
 )
 
 // ClientOptions tune transport behaviour, mirroring expserve.ClientOptions.
+// Retry, backoff and circuit breaking are delegated to the shared netretry
+// core — the same resilience implementation the experience client uses.
 type ClientOptions struct {
 	// Timeout bounds one HTTP round trip on top of any requested long-poll
 	// wait (the request deadline is wait+Timeout). Defaults to 10s.
@@ -31,15 +32,29 @@ type ClientOptions struct {
 	// JitterSeed seeds the backoff jitter RNG (0 uses a time-derived seed).
 	// Jitter never influences payload bytes, only retry spacing.
 	JitterSeed int64
+	// TotalDeadline caps the cumulative time one request may spend across
+	// all attempts, backoff sleeps included. Zero leaves Attempts as the
+	// only bound.
+	TotalDeadline time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// contact failures (0 = netretry default, negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open probe interval (0 = MaxDelay).
+	BreakerCooldown time.Duration
+	// Edge labels this client's retry/circuit metrics; defaults to
+	// "policy".
+	Edge string
+	// Registry receives marl_retry_*/marl_circuit_* metrics; nil keeps
+	// them private.
+	Registry *telemetry.Registry
+	// Transport overrides the HTTP transport (fault injectors hook here).
+	Transport http.RoundTripper
 }
 
 // Client talks to a policy distribution server. Safe for sequential use;
 // use one per goroutine for concurrency.
 type Client struct {
-	base string
-	hc   *http.Client
-	opts ClientOptions
-	rng  *rand.Rand
+	core *netretry.Client
 
 	// sleep is the backoff delay function; tests may replace it.
 	sleep func(time.Duration)
@@ -48,89 +63,48 @@ type Client struct {
 // NewClient targets baseURL (e.g. "http://127.0.0.1:9400" or a bare
 // "host:port").
 func NewClient(baseURL string, opts ClientOptions) *Client {
-	if !strings.Contains(baseURL, "://") {
-		baseURL = "http://" + baseURL
+	if opts.Edge == "" {
+		opts.Edge = "policy"
 	}
-	if opts.Timeout <= 0 {
-		opts.Timeout = 10 * time.Second
-	}
-	if opts.Attempts < 1 {
-		opts.Attempts = 4
-	}
-	if opts.BaseDelay <= 0 {
-		opts.BaseDelay = 50 * time.Millisecond
-	}
-	if opts.MaxDelay <= 0 {
-		opts.MaxDelay = 2 * time.Second
-	}
-	seed := opts.JitterSeed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	return &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		hc:    &http.Client{}, // deadlines are per request: long-polls outlive any fixed client timeout
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(seed)),
-		sleep: time.Sleep,
-	}
+	c := &Client{sleep: time.Sleep}
+	c.core = netretry.New(baseURL, netretry.Options{
+		Timeout:          opts.Timeout,
+		Attempts:         opts.Attempts,
+		BaseDelay:        opts.BaseDelay,
+		MaxDelay:         opts.MaxDelay,
+		JitterSeed:       opts.JitterSeed,
+		TotalDeadline:    opts.TotalDeadline,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+		Edge:             opts.Edge,
+		Registry:         opts.Registry,
+		Transport:        opts.Transport,
+	})
+	// Forward through the field so tests that swap c.sleep after
+	// construction still intercept backoff sleeps.
+	c.core.SetClock(nil, func(d time.Duration) { c.sleep(d) })
+	return c
 }
 
-func retryable(status int) bool {
-	return status == http.StatusTooManyRequests || status >= 500
-}
+// Breaker exposes the client's circuit breaker state.
+func (c *Client) Breaker() *netretry.Breaker { return c.core.Breaker() }
 
-// doResp runs one request with retries and jittered exponential backoff and
-// returns the first non-retryable response (body fully read). extra widens
-// the per-attempt deadline beyond Timeout — the long-poll hold time.
+// doResp runs one request through the shared retry core and returns the
+// first non-retryable response (body fully read). extra widens the
+// per-attempt deadline beyond Timeout — the long-poll hold time.
 func (c *Client) doResp(ctx context.Context, method, path, contentType string, body []byte, extra time.Duration, hdr http.Header) (int, http.Header, []byte, error) {
-	var lastErr error
-	delay := c.opts.BaseDelay
-	for attempt := 1; ; attempt++ {
-		reqCtx, cancel := context.WithTimeout(ctx, c.opts.Timeout+extra)
-		req, err := http.NewRequestWithContext(reqCtx, method, c.base+path, bytes.NewReader(body))
-		if err != nil {
-			cancel()
-			return 0, nil, nil, err
-		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
-		}
-		for k, vs := range hdr {
-			for _, v := range vs {
-				req.Header.Add(k, v)
-			}
-		}
-		resp, err := c.hc.Do(req)
-		if err == nil {
-			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-			resp.Body.Close()
-			cancel()
-			switch {
-			case rerr != nil:
-				lastErr = fmt.Errorf("policysync: reading %s response: %w", path, rerr)
-			case retryable(resp.StatusCode):
-				lastErr = fmt.Errorf("policysync: %s: server answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
-			default:
-				return resp.StatusCode, resp.Header, data, nil
-			}
-		} else {
-			cancel()
-			lastErr = fmt.Errorf("policysync: %s: %w", path, err)
-		}
-		if attempt >= c.opts.Attempts {
-			return 0, nil, nil, lastErr
-		}
-		if err := ctx.Err(); err != nil {
-			return 0, nil, nil, err
-		}
-		jittered := delay + time.Duration(c.rng.Int63n(int64(delay)/2+1))
-		c.sleep(jittered)
-		delay *= 2
-		if delay > c.opts.MaxDelay {
-			delay = c.opts.MaxDelay
-		}
+	resp, err := c.core.Do(ctx, netretry.Request{
+		Method:       method,
+		Path:         path,
+		ContentType:  contentType,
+		Body:         body,
+		Header:       hdr,
+		ExtraTimeout: extra,
+	})
+	if err != nil {
+		return 0, nil, nil, err
 	}
+	return resp.Status, resp.Header, resp.Body, nil
 }
 
 // Publish ships one encoded snapshot frame and returns the serving version

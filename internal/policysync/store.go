@@ -22,6 +22,7 @@ type Store struct {
 	updates uint64
 	frame   []byte
 	notify  chan struct{} // closed and replaced on every publish
+	closed  bool          // set by Close; parked Waits return immediately
 
 	// OnPublish, when non-nil, is invoked after every accepted publish
 	// (outside the lock) with the new serving version, the learner's update
@@ -81,8 +82,10 @@ func (s *Store) install(frame []byte, updates uint64) uint64 {
 	version := s.version
 	s.updates = updates
 	s.frame = frame
-	close(s.notify)
-	s.notify = make(chan struct{})
+	if !s.closed {
+		close(s.notify)
+		s.notify = make(chan struct{})
+	}
 	s.mu.Unlock()
 
 	s.published.Inc()
@@ -111,7 +114,7 @@ func (s *Store) Wait(after uint64, timeout time.Duration) (version, updates uint
 	deadline := time.Now().Add(timeout)
 	for {
 		s.mu.Lock()
-		if s.version > after || timeout <= 0 {
+		if s.version > after || timeout <= 0 || s.closed {
 			defer s.mu.Unlock()
 			return s.version, s.updates, s.frame
 		}
@@ -130,6 +133,22 @@ func (s *Store) Wait(after uint64, timeout time.Duration) (version, updates uint
 			return s.Latest()
 		}
 	}
+}
+
+// Close releases every parked Wait immediately and makes future Waits
+// return without blocking — the graceful-drain primitive: a shutting-down
+// marl-policyd closes the store so in-flight long-polls finish now (with
+// whatever version is current) instead of holding connections open for
+// their full hold time. Publishing to a closed store still works; only
+// the blocking behavior changes. Idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.notify)
 }
 
 // Decode returns the newest snapshot, fully decoded and stamped with its

@@ -25,6 +25,11 @@ type Syncer struct {
 	OnError func(err error)
 
 	latest atomic.Pointer[Snapshot]
+	// lastContact is the wall time (UnixNano) of the most recent successful
+	// exchange with the server — a new snapshot or a clean "nothing newer"
+	// answer both count. Actors bound policy staleness against it: a live
+	// server that simply has no newer version is not an outage.
+	lastContact atomic.Int64
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -40,11 +45,14 @@ func NewSyncer(client *Client, wait time.Duration) *Syncer {
 	return &Syncer{client: client, wait: wait}
 }
 
-// Start launches the polling goroutine. Call Close to stop it.
+// Start launches the polling goroutine. Call Close to stop it. The
+// contact clock starts now, so staleness is measured from "the syncer
+// began trying", not from the epoch.
 func (s *Syncer) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.done = make(chan struct{})
+	s.lastContact.Store(time.Now().UnixNano())
 	go s.loop(ctx)
 }
 
@@ -72,10 +80,14 @@ func (s *Syncer) loop(ctx context.Context) {
 			case <-time.After(s.wait / 4):
 			}
 		case snap != nil && snap.Version > after:
+			s.lastContact.Store(time.Now().UnixNano())
 			s.latest.Store(snap)
 			if s.OnInstall != nil {
 				s.OnInstall(snap)
 			}
+		default:
+			// A clean "nothing newer yet" answer is still contact.
+			s.lastContact.Store(time.Now().UnixNano())
 		}
 	}
 }
@@ -84,6 +96,17 @@ func (s *Syncer) loop(ctx context.Context) {
 // fetch lands). The snapshot and its networks must be treated as read-only;
 // they may be shared with other readers.
 func (s *Syncer) Latest() *Snapshot { return s.latest.Load() }
+
+// LastContact returns when the syncer last heard a definitive answer from
+// the policy server (zero time before Start). The gap to now is the
+// staleness bound an actor enforces with -max-staleness.
+func (s *Syncer) LastContact() time.Time {
+	ns := s.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
 
 // WaitFirst blocks until a first snapshot is installed or timeout elapses,
 // returning it (nil on timeout). Lets an actor that insists on starting from

@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# Chaos smoke: the five-process full loop (marl-replayd + marl-policyd +
+# two marl-actors + learner) driven through three seeded faults at once:
+#
+#   (a) marl-replayd is SIGKILLed mid-ingest and restarted on the same
+#       port and segment directory — actors spool to disk meanwhile and
+#       drain on recovery;
+#   (b) marl-policyd is partitioned (SIGSTOP) for CHAOS_PARTITION_SECS —
+#       actors keep acting on their last snapshot, the learner keeps
+#       training and records the publish-outage window;
+#   (c) every actor→replayd request rides a deterministic 10% drop rule
+#       (-chaos-replay "drop=0.1" with a fixed -chaos-seed).
+#
+# Asserts, in order:
+#   - the learner completes all episodes and exits 0;
+#   - each actor installed ≥ 2 distinct policy versions (hot-swaps
+#     happened despite the partition);
+#   - ZERO experience loss: rows applied by the (restarted) experience
+#     service == transitions produced by both actors + the learner;
+#   - no spooled batches are left behind;
+#   - both daemons exit 0 on SIGTERM (graceful drain).
+#
+# Ports/dirs/durations are overridable via REPLAY_PORT / POLICY_PORT /
+# OUT / CHAOS_PARTITION_SECS / CHAOS_SEED.
+set -euo pipefail
+
+# Re-exec as a process-group leader so the EXIT trap can take down every
+# child with one group signal, even when the script dies mid-run.
+if [ -z "${CHAOS_SMOKE_PG:-}" ] && command -v setsid >/dev/null 2>&1; then
+  CHAOS_SMOKE_PG=1 exec setsid --wait "$0" "$@"
+fi
+
+cd "$(dirname "$0")/.."
+
+REPLAY_PORT=${REPLAY_PORT:-19310}
+POLICY_PORT=${POLICY_PORT:-19410}
+OUT=${OUT:-$(mktemp -d)}
+CHAOS_PARTITION_SECS=${CHAOS_PARTITION_SECS:-30}
+CHAOS_SEED=${CHAOS_SEED:-42}
+BIN="$OUT/bin"
+mkdir -p "$BIN"
+
+echo "building binaries into $BIN"
+go build -o "$BIN/marl-replayd" ./cmd/marl-replayd
+go build -o "$BIN/marl-policyd" ./cmd/marl-policyd
+go build -o "$BIN/marl-actor" ./cmd/marl-actor
+go build -o "$BIN/marl-train" ./cmd/marl-train
+
+pids=()
+cleanup() {
+  trap - EXIT
+  trap '' INT TERM # ignore our own group-wide signal below
+  # A SIGSTOPped daemon never sees SIGTERM; wake everything first.
+  for pid in "${pids[@]:-}"; do kill -CONT "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  kill -TERM -- "-$$" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+wait_health() {
+  for _ in $(seq 1 100); do
+    if curl -sf "http://$1/healthz" >/dev/null; then return 0; fi
+    sleep 0.2
+  done
+  echo "service $1 never became healthy" >&2
+  return 1
+}
+
+fail() { echo "FAIL: $1" >&2; tail -n 25 "$OUT"/*.log >&2; exit 1; }
+
+start_replayd() {
+  "$BIN/marl-replayd" -addr "127.0.0.1:$REPLAY_PORT" -dir "$OUT/replay" -env cn -agents 3 \
+    >>"$OUT/replayd.log" 2>&1 &
+  REPLAYD=$!
+  pids+=("$REPLAYD")
+}
+
+start_replayd
+"$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" >"$OUT/policyd.log" 2>&1 &
+POLICYD=$!
+pids+=("$POLICYD")
+wait_health "127.0.0.1:$REPLAY_PORT"
+wait_health "127.0.0.1:$POLICY_PORT"
+
+# Open-ended actors with a disk spool and the 10% deterministic drop rule
+# on the replay edge; SIGTERMed once the learner is done.
+for i in 0 1; do
+  "$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+    -env cn -agents 3 -actor-id "actor-$i" -envs 4 -first-env $((i * 4)) -sync-every 5 \
+    -episodes 0 -seed $((7 + i)) -batch-rows 64 -policy-wait 60s \
+    -spool-dir "$OUT/spool-$i" \
+    -chaos-seed $((CHAOS_SEED + i)) -chaos-replay "drop=0.1" \
+    >"$OUT/actor$i.log" 2>&1 &
+  eval "A$i=$!"
+  pids+=("$!")
+done
+
+echo "running learner (with concurrent chaos)"
+"$BIN/marl-train" -replay-addr "127.0.0.1:$REPLAY_PORT" -replay-retry 3m \
+  -policy-publish-addr "127.0.0.1:$POLICY_PORT" -policy-publish-every 2 \
+  -runlog "$OUT/run.jsonl" \
+  -env cn -agents 3 -episodes 40 -batch 64 -log-every 10 >"$OUT/learner.log" 2>&1 &
+LEARNER=$!
+pids+=("$LEARNER")
+
+# Let the loop establish itself, then unleash the faults.
+sleep 4
+
+echo "chaos: partitioning policyd (SIGSTOP ${CHAOS_PARTITION_SECS}s)"
+kill -STOP "$POLICYD"
+(
+  sleep "$CHAOS_PARTITION_SECS"
+  kill -CONT "$POLICYD" 2>/dev/null || true
+  echo "chaos: policyd partition healed" >>"$OUT/chaos.log"
+) &
+HEALER=$!
+pids+=("$HEALER")
+
+sleep 3
+echo "chaos: SIGKILLing replayd mid-ingest"
+kill -KILL "$REPLAYD"
+wait "$REPLAYD" 2>/dev/null || true
+sleep 2
+echo "chaos: restarting replayd on the same segment directory"
+start_replayd
+wait_health "127.0.0.1:$REPLAY_PORT"
+
+# The learner must finish all episodes and exit 0 despite all three faults.
+rc=0; wait "$LEARNER" || rc=$?
+[ "$rc" = 0 ] || fail "learner exited $rc"
+wait "$HEALER" 2>/dev/null || true
+
+# Stop the actors; exit 3 (interrupted, flushed) and 0 are both clean.
+for pid in "$A0" "$A1"; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in "$A0" "$A1"; do
+  rc=0; wait "$pid" || rc=$?
+  if [ "$rc" != 0 ] && [ "$rc" != 3 ]; then
+    fail "actor (pid $pid) exited $rc"
+  fi
+done
+
+# ≥2 distinct policy versions installed per actor, despite the partition.
+for log in "$OUT/actor0.log" "$OUT/actor1.log"; do
+  versions=$(grep -o 'policy: installed v[0-9]*' "$log" | sort -u | wc -l)
+  [ "$versions" -ge 2 ] || fail "$log shows $versions distinct policy versions, want ≥ 2"
+  echo "$(basename "$log"): $versions distinct policy versions installed"
+done
+
+# Zero experience loss: every transition either actor or the learner
+# produced must be applied by the (restarted) experience service, exactly
+# once — the drop rule, the SIGKILL and the spool detour all included.
+produced=0
+for log in "$OUT/actor0.log" "$OUT/actor1.log"; do
+  n=$(sed -n 's/^done: [0-9]* episodes, \([0-9]*\) transitions published.*/\1/p' "$log" | tail -n 1)
+  [ -n "$n" ] || fail "$log has no completion line"
+  produced=$((produced + n))
+done
+learner_rows=$(sed -n 's/.*(\([0-9]*\) env steps.*/\1/p' "$OUT/learner.log" | tail -n 1)
+[ -n "$learner_rows" ] || fail "learner log has no env-step count"
+produced=$((produced + learner_rows))
+
+stats=$(curl -sf "http://127.0.0.1:$REPLAY_PORT/v1/stats")
+applied=$(printf '%s' "$stats" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ -n "$applied" ] || fail "no total in stats reply: $stats"
+if [ "$applied" != "$produced" ]; then
+  fail "experience loss or duplication: service applied $applied rows, producers shipped $produced"
+fi
+echo "zero experience loss: $applied rows applied == $produced produced"
+
+# The spools must be fully drained (no batch stranded on disk).
+leftover=$(find "$OUT"/spool-* -name 'spool-*.xpb' 2>/dev/null | wc -l)
+[ "$leftover" = 0 ] || fail "$leftover spooled batch(es) left behind"
+
+# The injected faults must actually have fired, or this proved nothing.
+grep -q 'chaos\[replay\]: .* dropped' "$OUT/actor0.log" || fail "no chaos counts in actor0.log"
+for log in "$OUT/actor0.log" "$OUT/actor1.log"; do
+  dropped=$(sed -n 's/^chaos\[replay\]: [0-9]* requests, \([0-9]*\) dropped.*/\1/p' "$log" | tail -n 1)
+  [ "${dropped:-0}" -gt 0 ] || fail "$log: drop rule never fired"
+done
+
+# Both daemons drain and exit 0 on SIGTERM.
+for name in replayd policyd; do
+  pid_var=$([ "$name" = replayd ] && echo "$REPLAYD" || echo "$POLICYD")
+  kill -TERM "$pid_var"
+  rc=0; wait "$pid_var" || rc=$?
+  [ "$rc" = 0 ] || fail "marl-$name exited $rc on SIGTERM, want 0"
+  echo "marl-$name drained and exited 0"
+done
+
+echo "chaos smoke OK (logs in $OUT)"

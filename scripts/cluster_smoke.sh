@@ -14,6 +14,13 @@
 # Ports/dirs are overridable via REPLAY_PORT / POLICY_PORT / OUT.
 set -euo pipefail
 
+# Re-exec as a process-group leader so the EXIT trap can take down every
+# child — daemons, actors, and anything they spawned — with one group
+# signal, even when the script itself dies mid-run.
+if [ -z "${CLUSTER_SMOKE_PG:-}" ] && command -v setsid >/dev/null 2>&1; then
+  CLUSTER_SMOKE_PG=1 exec setsid --wait "$0" "$@"
+fi
+
 cd "$(dirname "$0")/.."
 
 REPLAY_PORT=${REPLAY_PORT:-19300}
@@ -31,10 +38,15 @@ go build -race -o "$BIN/marl-train" ./cmd/marl-train
 
 pids=()
 cleanup() {
+  trap - EXIT
+  trap '' INT TERM # ignore our own group-wide signal below
   for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  # Sweep the whole process group for anything not in pids (only possible
+  # when we are the group leader, i.e. after the setsid re-exec).
+  kill -TERM -- "-$$" 2>/dev/null || true
   wait 2>/dev/null || true
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 wait_health() {
   for _ in $(seq 1 75); do
@@ -77,12 +89,12 @@ for pid in "$A0" "$A1"; do
   rc=0; wait "$pid" || rc=$?
   if [ "$rc" != 0 ] && [ "$rc" != 3 ]; then
     echo "actor (pid $pid) exited $rc" >&2
-    tail -20 "$OUT"/actor*.log >&2
+    tail -n 20 "$OUT"/actor*.log >&2
     exit 1
   fi
 done
 
-fail() { echo "FAIL: $1" >&2; tail -20 "$OUT"/*.log >&2; exit 1; }
+fail() { echo "FAIL: $1" >&2; tail -n 20 "$OUT"/*.log >&2; exit 1; }
 
 for log in "$OUT/actor0.log" "$OUT/actor1.log"; do
   versions=$(grep -o 'policy: installed v[0-9]*' "$log" | sort -u | wc -l)
