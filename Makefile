@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-workers bench-rollout cluster-smoke chaos-smoke examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers bench-rollout bench-replay cluster-smoke chaos-smoke examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -27,6 +27,11 @@ bench-workers:
 # Vectorized-rollout sweep (env count × acting mode); writes BENCH_rollout.json.
 bench-rollout:
 	$(GO) test -run '^$$' -bench RolloutVec -benchtime 200ms .
+
+# Replay sample-path sweep (plan × batch × local/remote/pipelined); writes
+# BENCH_replay.json.
+bench-replay:
+	$(GO) test -run '^$$' -bench ExpServeSample -benchtime 200ms .
 
 # Five-process full-loop smoke: replayd + policyd + two actors + learner,
 # race-instrumented, asserting ≥2 policy hot-swaps per actor.

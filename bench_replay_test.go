@@ -3,10 +3,13 @@ package marlperf
 // Experience-service benchmark: the cost of drawing a mini-batch through
 // the replay path, local (in-process expstore sampling) versus remote
 // (the full expserve HTTP round trip with server-side sampling), swept
-// across batch sizes for both plan-able strategies. The grid is written
-// to BENCH_replay.json with the same provenance stamps as
-// BENCH_update.json so sweeps from different machines and revisions
-// stay comparable.
+// across batch sizes for both plan-able strategies. Remote cells run in
+// two configurations: a single-connection synchronous client (the
+// worst-case serial path) and a striped pipelined client that overlaps
+// several prefetched sample RPCs (what -sample-conns/-prefetch give a
+// learner). The grid is written to BENCH_replay.json with the same
+// provenance stamps as BENCH_update.json so sweeps from different
+// machines and revisions stay comparable.
 
 import (
 	"encoding/json"
@@ -22,15 +25,17 @@ import (
 	"marlperf/internal/replay"
 )
 
-// replaySweepRow is one (plan, batch, mode) cell, written to
-// BENCH_replay.json for machine consumption.
+// replaySweepRow is one (plan, batch, mode, conns, prefetch) cell, written
+// to BENCH_replay.json for machine consumption.
 type replaySweepRow struct {
-	Plan       string  `json:"plan"`
-	Batch      int     `json:"batch"`
-	Mode       string  `json:"mode"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	Iters      int     `json:"iters"`
-	RowsPerSec float64 `json:"rows_per_sec"`
+	Plan        string  `json:"plan"`
+	Batch       int     `json:"batch"`
+	Mode        string  `json:"mode"`
+	SampleConns int     `json:"sample_conns"`
+	Prefetch    bool    `json:"prefetch"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Iters       int     `json:"iters"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
 }
 
 // benchReplaySpec is the transition shape the sweep samples: a mid-size
@@ -57,6 +62,12 @@ func benchReplayFill(b *testing.B, ring *expstore.Ring, rows int) {
 		ring.Append(row)
 	}
 }
+
+// pipeDepth is how many prefetched batches the pipelined remote cell keeps
+// in flight per measured op — the per-update fan-out a multi-agent learner
+// produces (one seed per agent) and the depth the striped client is tuned
+// for.
+const pipeDepth = 4
 
 // BenchmarkExpServeSample sweeps mini-batch size × local-vs-remote for
 // the uniform and locality plans and writes BENCH_replay.json. The
@@ -87,6 +98,12 @@ func BenchmarkExpServeSample(b *testing.B) {
 	// b.N; keep only the final (fully calibrated) measurement per cell.
 	cells := make(map[string]replaySweepRow)
 	var order []string
+	record := func(name string, row replaySweepRow) {
+		if _, seen := cells[name]; !seen {
+			order = append(order, name)
+		}
+		cells[name] = row
+	}
 	for _, p := range plans {
 		for _, batch := range []int{256, 1024, 4096} {
 			dst := make([]*replay.AgentBatch, spec.NumAgents)
@@ -98,10 +115,10 @@ func BenchmarkExpServeSample(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			client := expserve.NewClient(hs.URL, expserve.ClientOptions{
+			syncClient := expserve.NewClient(hs.URL, expserve.ClientOptions{
 				Timeout: 30 * time.Second, Attempts: 1, JitterSeed: 1,
 			})
-			remoteSrc, err := expserve.NewRemoteSource(client, spec, p.plan)
+			syncSrc, err := expserve.NewRemoteSource(syncClient, spec, p.plan)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -109,8 +126,12 @@ func BenchmarkExpServeSample(b *testing.B) {
 			for _, mode := range []struct {
 				name string
 				src  replay.TransitionSource
-			}{{"local", localSrc}, {"remote", remoteSrc}} {
+			}{{"local", localSrc}, {"remote", syncSrc}} {
 				name := p.name + "/" + benchName("batch", batch) + "/" + mode.name
+				conns := 0
+				if mode.name == "remote" {
+					conns = 1
+				}
 				b.Run(name, func(b *testing.B) {
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
@@ -124,15 +145,52 @@ func BenchmarkExpServeSample(b *testing.B) {
 					if ns > 0 {
 						rps = float64(batch) / (ns / 1e9)
 					}
-					if _, seen := cells[name]; !seen {
-						order = append(order, name)
-					}
-					cells[name] = replaySweepRow{
-						Plan: p.name, Batch: batch, Mode: mode.name,
+					record(name, replaySweepRow{
+						Plan: p.name, Batch: batch, Mode: mode.name, SampleConns: conns,
 						NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
-					}
+					})
 				})
 			}
+
+			// Pipelined remote: a striped client with pipeDepth prefetched
+			// sample RPCs in flight, consumed in announcement order — the
+			// learner's -sample-conns/-prefetch configuration. One measured
+			// op covers pipeDepth batches, so ns_per_op is normalized per
+			// batch to stay comparable with the synchronous cells.
+			pipeClient := expserve.NewClient(hs.URL, expserve.ClientOptions{
+				Timeout: 30 * time.Second, Attempts: 1, JitterSeed: 1, Conns: pipeDepth,
+			})
+			pipeSrc, err := expserve.NewRemoteSource(pipeClient, spec, p.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf := expserve.NewPrefetchSource(pipeSrc, pipeDepth, nil)
+			name := p.name + "/" + benchName("batch", batch) + "/remote-pipelined"
+			b.Run(name, func(b *testing.B) {
+				seeds := make([]int64, pipeDepth)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := range seeds {
+						seeds[k] = int64(i*pipeDepth + k + 1)
+					}
+					pf.PrefetchBatch(batch, seeds)
+					for _, seed := range seeds {
+						if _, err := pf.SampleBatch(batch, seed, dst); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / pipeDepth
+				rps := 0.0
+				if ns > 0 {
+					rps = float64(batch) / (ns / 1e9)
+				}
+				record(name, replaySweepRow{
+					Plan: p.name, Batch: batch, Mode: "remote", SampleConns: pipeDepth, Prefetch: true,
+					NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
+				})
+			})
 		}
 	}
 	if len(order) == 0 {
@@ -142,6 +200,35 @@ func BenchmarkExpServeSample(b *testing.B) {
 	for _, name := range order {
 		rows = append(rows, cells[name])
 	}
+
+	// Regression guard for the per-request realloc class of bug: remote
+	// rows/sec must stay flat (within the calibration noise band) across
+	// batch sizes — a path that re-grows multi-megabyte buffers per request
+	// shows up as throughput collapsing at batch 4096. Only enforced on
+	// calibrated runs; a -benchtime too short to iterate each cell at least
+	// twice proves nothing.
+	for _, plan := range []string{"uniform", "locality"} {
+		var min, max float64
+		calibrated := true
+		for _, r := range rows {
+			if r.Plan != plan || r.Mode != "remote" || r.Prefetch || r.SampleConns != 1 {
+				continue
+			}
+			if r.Iters < 2 {
+				calibrated = false
+			}
+			if min == 0 || r.RowsPerSec < min {
+				min = r.RowsPerSec
+			}
+			if r.RowsPerSec > max {
+				max = r.RowsPerSec
+			}
+		}
+		if calibrated && min > 0 && max/min > 1.5 {
+			b.Fatalf("%s remote rows/sec varies %.1fx across batch sizes (min %.0f, max %.0f); want flat within 1.5x — per-request buffer growth is back", plan, max/min, min, max)
+		}
+	}
+
 	out := struct {
 		Benchmark  string           `json:"benchmark"`
 		GoVersion  string           `json:"go_version"`

@@ -63,8 +63,11 @@ Serves the experience service for a networked actor/learner split:
 POST /v1/append ingests CRC-framed transition batches (idempotent per
 actor sequence number, bounded queue, 429 backpressure), POST /v1/sample
 executes seeded uniform or locality sampling server-side over the packed
-rows, GET /v1/stats reports the spec and occupancy. /metrics exposes the
-marl_exp_* series; /healthz reports liveness.
+rows — binary request frames are answered zero-copy from the row store
+(JSON requests still work for hand-testing), with response volume on
+marl_exp_sample_bytes_total. GET /v1/stats reports the spec and
+occupancy. /metrics exposes the marl_exp_* series; /healthz reports
+liveness.
 
 Every acknowledged append is flushed to the store first, so with -dir a
 kill -9 loses nothing an actor saw acknowledged.

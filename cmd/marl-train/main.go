@@ -71,6 +71,8 @@ func run() int {
 		replayAddr  = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
 		actorID     = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
 		replayRetry = flag.Duration("replay-retry", 2*time.Minute, "ride out an experience-service outage this long (retries with backoff) before failing the run")
+		sampleConns = flag.Int("sample-conns", 4, "persistent connections striping sample/append traffic to the experience service (with -replay-addr)")
+		prefetch    = flag.Bool("prefetch", false, "overlap next-update sample RPCs with gradient compute (with -replay-addr); bit-identical on or off")
 
 		policyAddr  = flag.String("policy-publish-addr", "", "publish actor weights to a policy service (marl-policyd) at this address")
 		policyEvery = flag.Int("policy-publish-every", 1, "update stages between policy publishes (with -policy-publish-addr)")
@@ -190,12 +192,12 @@ Flags:
 	}
 	defer tr.Close()
 	if *replayAddr != "" {
-		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, registry); err != nil {
+		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, *sampleConns, *prefetch, registry); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
-		fmt.Printf("experience service: sampling and publishing via %s (plan=%s, actor-id=%s)\n",
-			*replayAddr, *sampler, *actorID)
+		fmt.Printf("experience service: sampling and publishing via %s (plan=%s, actor-id=%s, conns=%d, prefetch=%v)\n",
+			*replayAddr, *sampler, *actorID, *sampleConns, *prefetch)
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -403,7 +405,7 @@ Flags:
 // everything this learner collects itself is published back under
 // actorID so the service's row count gates updates exactly as a local
 // buffer would.
-func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, reg *telemetry.Registry) error {
+func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, conns int, prefetch bool, reg *telemetry.Registry) error {
 	plan, err := cfg.SamplePlan()
 	if err != nil {
 		return err
@@ -421,16 +423,21 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 		Attempts:      1000,
 		TotalDeadline: retryFor,
 		Registry:      reg,
+		Conns:         conns,
 	})
 	src, err := expserve.NewRemoteSource(client, spec, plan)
 	if err != nil {
 		return err
 	}
+	var source replay.TransitionSource = src
+	if prefetch {
+		source = expserve.NewPrefetchSource(src, conns, reg)
+	}
 	sink, err := expserve.NewRemoteSink(client, actorID, spec)
 	if err != nil {
 		return err
 	}
-	return tr.SetExperienceService(src, sink)
+	return tr.SetExperienceService(source, sink)
 }
 
 // policyPublisher pushes the learner's actor weights to a policy service at

@@ -89,6 +89,7 @@ type Trainer struct {
 	pendingIdx    [][]int
 	pendingTD     [][]float64
 	tdMeans       []float64
+	updSeeds      []int64 // per-agent batch seeds, pre-drawn serially each update
 
 	// Shared read-only and interaction scratch.
 	onesW       []float64
@@ -493,6 +494,25 @@ func (t *Trainer) UpdateAllTrainers() {
 	}
 	t.ensureUpdateState(workers)
 
+	if t.expSource != nil {
+		// Pre-draw every agent's batch seed serially, in agent order, before
+		// any worker runs. Each draw is still the first Int63 taken from
+		// stream i this update — exactly the value updateAgent used to draw
+		// inline — so the schedule change is invisible to training. Hoisting
+		// the draws is what makes overlap possible: a prefetching source can
+		// start all n sample RPCs now and hide them behind gradient compute.
+		if cap(t.updSeeds) < t.n {
+			t.updSeeds = make([]int64, t.n)
+		}
+		t.updSeeds = t.updSeeds[:t.n]
+		for i := 0; i < t.n; i++ {
+			t.updSeeds[i] = t.agentRNGs[i].Int63()
+		}
+		if pf, ok := t.expSource.(replay.BatchPrefetcher); ok {
+			pf.PrefetchBatch(t.cfg.BatchSize, t.updSeeds)
+		}
+	}
+
 	if workers <= 1 {
 		s := t.scratch[0]
 		for i := 0; i < t.n; i++ {
@@ -575,10 +595,11 @@ func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
 	if t.expSource != nil {
 		// Experience-service path: one seed per mini-batch from agent i's
 		// stream; the source (local store or remote service) derives the
-		// index set from it. The single Int63 draw replaces the in-process
+		// index set from it. The seed was pre-drawn serially at the top of
+		// UpdateAllTrainers — the single Int63 draw replaces the in-process
 		// sampler's RNG consumption in both local and remote mode, which is
 		// what keeps the two bit-identical.
-		seed := t.agentRNGs[i].Int63()
+		seed := t.updSeeds[i]
 		if _, err := t.expSource.SampleBatch(t.cfg.BatchSize, seed, s.batches); err != nil {
 			t.setExpErr(fmt.Errorf("core: agent %d mini-batch: %w", i, err))
 			s.prof.Stop(profiler.PhaseSampling)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"marlperf/internal/f64le"
 	"marlperf/internal/netretry"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
@@ -49,11 +50,20 @@ type ClientOptions struct {
 	// them private.
 	Registry *telemetry.Registry
 	// Transport overrides the HTTP transport (fault injectors hook here).
+	// When set, Conns is ignored — the caller owns connection management.
 	Transport http.RoundTripper
+	// Conns stripes the client across this many persistent connections:
+	// the transport keeps Conns warm sockets to the server, so that many
+	// sample/append requests can be in flight at once without handshake or
+	// slow-start cost on any of them. The default transport keeps only 2
+	// idle conns per host, which silently serializes a wider worker pool.
+	// 0 or 1 means a single persistent connection.
+	Conns int
 }
 
-// Client talks to an experience server. Safe for sequential use; wrap with
-// external locking (or use one per goroutine) for concurrency.
+// Client talks to an experience server. Requests may be issued from many
+// goroutines at once; with Conns > 1 they ride separate persistent
+// connections instead of queueing behind each other.
 type Client struct {
 	core *netretry.Client
 }
@@ -63,6 +73,9 @@ type Client struct {
 func NewClient(baseURL string, opts ClientOptions) *Client {
 	if opts.Edge == "" {
 		opts.Edge = "replay"
+	}
+	if opts.Transport == nil && opts.Conns > 1 {
+		opts.Transport = StripedTransport(opts.Conns)
 	}
 	core := netretry.New(baseURL, netretry.Options{
 		Timeout:          opts.Timeout,
@@ -78,6 +91,22 @@ func NewClient(baseURL string, opts ClientOptions) *Client {
 		Transport:        opts.Transport,
 	})
 	return &Client{core: core}
+}
+
+// StripedTransport builds an http.Transport keeping conns warm sockets to
+// the (single) replay host. The net/http default of 2 idle conns per host
+// closes every socket beyond the pair, so a pool of update workers pays a
+// TCP handshake + slow start on most concurrent samples; raising the idle
+// cap is what lets requests actually pipeline across stripes.
+func StripedTransport(conns int) *http.Transport {
+	if conns < 1 {
+		conns = 1
+	}
+	return &http.Transport{
+		MaxIdleConns:        2 * conns,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
 }
 
 // Breaker exposes the client's circuit breaker state.
@@ -100,16 +129,26 @@ func (e *StatusError) Error() string {
 // circuit breaker is open — the spool path uses it to shed load off a
 // dead server instead of stalling the actor.
 func (c *Client) do(method, path string, contentType string, body []byte) ([]byte, error) {
-	return c.doMode(method, path, contentType, body, false)
+	return c.doScratch(method, path, contentType, body, false, nil)
 }
 
 func (c *Client) doMode(method, path string, contentType string, body []byte, failFast bool) ([]byte, error) {
+	return c.doScratch(method, path, contentType, body, failFast, nil)
+}
+
+// doScratch is do with a recycled response buffer: when scratch is non-nil
+// the reply body is read into it (netretry grows it at most once) and the
+// returned slice aliases it. The sample path threads pooled multi-megabyte
+// buffers through here so steady-state sampling allocates nothing per
+// request.
+func (c *Client) doScratch(method, path string, contentType string, body []byte, failFast bool, scratch []byte) ([]byte, error) {
 	resp, err := c.core.Do(context.Background(), netretry.Request{
 		Method:      method,
 		Path:        path,
 		ContentType: contentType,
 		Body:        body,
 		FailFast:    failFast,
+		Scratch:     scratch,
 	})
 	if err != nil {
 		return nil, err
@@ -168,18 +207,92 @@ func (c *Client) Stats() (replay.Spec, int, uint64, error) {
 // learner wired to a RemoteSource trains bit-identically to one holding the
 // rows in process.
 //
-// Len and SampleBatch are safe for concurrent use across update workers:
-// calls serialize on an internal lock around the shared client and scratch.
-// Draw order cannot affect results — every batch is a pure function of its
-// own (n, seed).
+// Len and SampleBatch are safe for concurrent use across update workers
+// with no internal serialization: each call checks a pooled scratch set out
+// and requests ride the client's striped transport, so a pool of workers
+// keeps several samples in flight at once. Draw order cannot affect results
+// — every batch is a pure function of its own (n, seed).
 type RemoteSource struct {
 	c      *Client
 	plan   replay.SamplePlan
 	layout replay.RowLayout
 
-	mu         sync.Mutex
-	idxScratch []int
-	rowScratch []float64
+	scratch sync.Pool // of *clientScratch
+}
+
+// clientScratch is one in-flight sample's worth of recycled buffers: the
+// encoded request frame, the reply body (netretry reads straight into it),
+// the decoded index vector and — only on hosts where the zero-copy float
+// view is unavailable — a row decode buffer.
+type clientScratch struct {
+	req  []byte
+	body []byte
+	idx  []int
+	rows []float64 // decode fallback; unused when f64le views apply
+	view []float64 // the sampled rows, aliasing body or rows
+	n    int
+}
+
+func (s *RemoteSource) acquire() *clientScratch {
+	if sc, ok := s.scratch.Get().(*clientScratch); ok {
+		return sc
+	}
+	return &clientScratch{}
+}
+
+func (s *RemoteSource) release(sc *clientScratch) {
+	sc.view = nil
+	sc.n = 0
+	s.scratch.Put(sc)
+}
+
+// fetch runs one sample RPC and decodes the reply into sc: afterwards
+// sc.idx[:n] holds the server's row indices and sc.view the n*stride
+// sampled floats. The float view aliases the reply body directly when the
+// host is little-endian and the buffer landed 8-aligned (the common case:
+// zero copies between socket and tensor split); otherwise rows are decoded
+// once into sc.rows.
+func (s *RemoteSource) fetch(n int, seed int64, sc *clientScratch) error {
+	req, err := encodeSampleRequest(sc.req[:0], sampleRequest{N: n, Seed: seed, Plan: s.plan})
+	if err != nil {
+		return err
+	}
+	sc.req = req
+	stride := s.layout.Stride()
+	if want := sampleReplySize(n, stride); cap(sc.body) < want {
+		sc.body = make([]byte, want)
+	}
+	data, err := s.c.doScratch(http.MethodPost, PathSample, "application/octet-stream", req, false, sc.body[:cap(sc.body)])
+	if err != nil {
+		return err
+	}
+	if cap(data) > cap(sc.body) {
+		sc.body = data // keep the grown buffer for next time
+	}
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	rowBytes, err := decodeSampleReply(data, n, stride, sc.idx[:n])
+	if err != nil {
+		return err
+	}
+	if view := f64le.Floats(rowBytes); view != nil {
+		sc.view = view
+	} else {
+		if cap(sc.rows) < n*stride {
+			sc.rows = make([]float64, n*stride)
+		}
+		sc.rows = sc.rows[:n*stride]
+		f64le.Get(sc.rows, rowBytes)
+		sc.view = sc.rows
+	}
+	sc.n = n
+	return nil
+}
+
+// split scatters a fetched scratch's rows into per-agent tensors.
+func (s *RemoteSource) split(sc *clientScratch, dst []*replay.AgentBatch) {
+	s.layout.SplitRows(sc.view, sc.n, dst)
 }
 
 // NewRemoteSource validates the plan, fetches the server's spec, checks it
@@ -208,38 +321,23 @@ func (s *RemoteSource) Plan() replay.SamplePlan { return s.plan }
 
 // Len implements replay.TransitionSource via the stats endpoint.
 func (s *RemoteSource) Len() (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, rows, _, err := s.c.Stats()
 	return rows, err
 }
 
 // SampleBatch implements replay.TransitionSource: one server-side plan
 // execution, decoded and split into per-agent tensors. The returned index
-// slice aliases internal scratch and is valid only until the next
-// SampleBatch on this source; dst is fully written before return.
+// slice is freshly allocated (it cannot alias pooled scratch — concurrent
+// callers would race on it); dst is fully written before return.
 func (s *RemoteSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reqBody, err := json.Marshal(sampleRequest{N: n, Seed: seed, Plan: s.plan})
-	if err != nil {
+	sc := s.acquire()
+	defer s.release(sc)
+	if err := s.fetch(n, seed, sc); err != nil {
 		return nil, err
 	}
-	data, err := s.c.do(http.MethodPost, PathSample, "application/json", reqBody)
-	if err != nil {
-		return nil, err
-	}
-	stride := s.layout.Stride()
-	if cap(s.idxScratch) < n {
-		s.idxScratch = make([]int, n)
-		s.rowScratch = make([]float64, n*stride)
-	}
-	idx := s.idxScratch[:n]
-	rows := s.rowScratch[:n*stride]
-	if err := decodeSampleReply(data, n, stride, idx, rows); err != nil {
-		return nil, err
-	}
-	s.layout.SplitRows(rows, n, dst)
+	s.split(sc, dst)
+	idx := make([]int, n)
+	copy(idx, sc.idx[:n])
 	return idx, nil
 }
 

@@ -1,0 +1,216 @@
+package expserve
+
+import (
+	"sync"
+	"time"
+
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+)
+
+// PrefetchSource overlaps sample RPCs with learner compute. The trainer
+// announces the next update round's (n, seed) pairs via PrefetchBatch; this
+// source launches the RPCs immediately (bounded by the stripe count) so
+// that by the time an update worker calls SampleBatch the reply is already
+// decoded — the network round trip hides behind gradient math instead of
+// serializing with it.
+//
+// Correctness does not depend on the prefetcher at all: batch content is a
+// pure function of (plan, length, seed), so a prefetched reply is
+// byte-identical to the one a synchronous call would have fetched. Every
+// SampleBatch whose seed was not announced, whose prefetch errored, or
+// whose prefetch is still in flight past SyncAfter simply falls back to a
+// synchronous fetch. Prefetching therefore changes timing only — training
+// remains bit-identical with the feature on or off, across worker counts
+// and under injected network faults.
+type PrefetchSource struct {
+	*RemoteSource
+
+	// SyncAfter caps how long SampleBatch waits for an announced in-flight
+	// prefetch before abandoning it and fetching synchronously. Zero means
+	// wait for the prefetch to settle (its retries are bounded by the
+	// client's own deadline, so this cannot hang past an outage verdict).
+	SyncAfter time.Duration
+
+	slots chan struct{} // bounds concurrent prefetch RPCs to the stripe count
+
+	mu      sync.Mutex
+	pending map[prefetchKey]*prefetchEntry
+	gen     uint64
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+}
+
+type prefetchKey struct {
+	n    int
+	seed int64
+}
+
+// prefetchEntry is one announced fetch. done closes once sc/err are set.
+// abandoned flags a consumer that gave up (timeout) or a pruned stale
+// round; whoever loses the race owns returning sc to the pool.
+type prefetchEntry struct {
+	done      chan struct{}
+	sc        *clientScratch
+	err       error
+	gen       uint64
+	abandoned bool
+}
+
+// NewPrefetchSource wraps src with prefetch overlap. stripes bounds the
+// number of concurrent prefetch RPCs (match the client's Conns so hinted
+// fetches pipeline across all warm connections without queueing behind each
+// other); reg, when non-nil, receives marl_exp_prefetch_hit_total /
+// marl_exp_prefetch_miss_total.
+func NewPrefetchSource(src *RemoteSource, stripes int, reg *telemetry.Registry) *PrefetchSource {
+	if stripes < 1 {
+		stripes = 1
+	}
+	p := &PrefetchSource{
+		RemoteSource: src,
+		slots:        make(chan struct{}, stripes),
+		pending:      make(map[prefetchKey]*prefetchEntry),
+	}
+	if reg != nil {
+		reg.SetHelp("marl_exp_prefetch_hit_total", "Sample batches served from a completed prefetch.")
+		reg.SetHelp("marl_exp_prefetch_miss_total", "Sample batches fetched synchronously (no or late prefetch).")
+		p.hits = reg.Counter("marl_exp_prefetch_hit_total")
+		p.misses = reg.Counter("marl_exp_prefetch_miss_total")
+	}
+	return p
+}
+
+// PrefetchBatch implements replay.BatchPrefetcher: launch one RPC per seed
+// (deduplicated) and return without waiting for any of them. Entries from
+// earlier rounds that were never consumed are abandoned here, so a learner
+// that skips an update (store drained, config change) cannot leak pooled
+// buffers or grow the pending map without bound.
+func (p *PrefetchSource) PrefetchBatch(n int, seeds []int64) {
+	p.mu.Lock()
+	p.gen++
+	gen := p.gen
+	for key, e := range p.pending {
+		if e.gen < gen {
+			e.abandoned = true
+			delete(p.pending, key)
+			go p.reap(e)
+		}
+	}
+	launch := make([]*prefetchEntry, 0, len(seeds))
+	keys := make([]prefetchKey, 0, len(seeds))
+	for _, seed := range seeds {
+		key := prefetchKey{n: n, seed: seed}
+		if _, ok := p.pending[key]; ok {
+			continue
+		}
+		e := &prefetchEntry{done: make(chan struct{}), gen: gen}
+		p.pending[key] = e
+		launch = append(launch, e)
+		keys = append(keys, key)
+	}
+	p.mu.Unlock()
+	for i, e := range launch {
+		go p.run(keys[i], e)
+	}
+}
+
+// run performs one prefetch RPC under a stripe slot.
+func (p *PrefetchSource) run(key prefetchKey, e *prefetchEntry) {
+	p.slots <- struct{}{}
+	sc := p.acquire()
+	err := p.fetch(key.n, key.seed, sc)
+	<-p.slots
+	if err != nil {
+		p.release(sc)
+		sc = nil
+	}
+	p.mu.Lock()
+	if e.abandoned {
+		// Nobody will consume this entry: keep sc out of it so the reaper
+		// cannot release the same scratch twice.
+		e.err = err
+		p.mu.Unlock()
+		close(e.done)
+		if sc != nil {
+			p.release(sc)
+		}
+		return
+	}
+	e.sc, e.err = sc, err
+	p.mu.Unlock()
+	close(e.done)
+}
+
+// reap waits out an abandoned entry's RPC and returns its buffers.
+func (p *PrefetchSource) reap(e *prefetchEntry) {
+	<-e.done
+	p.mu.Lock()
+	sc := e.sc
+	e.sc = nil
+	p.mu.Unlock()
+	if sc != nil {
+		p.release(sc)
+	}
+}
+
+// SampleBatch implements replay.TransitionSource. A completed prefetch for
+// (n, seed) is consumed without touching the network; anything else — not
+// announced, errored, or still in flight past SyncAfter — falls back to the
+// embedded source's synchronous path, which returns the exact same bytes.
+func (p *PrefetchSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
+	key := prefetchKey{n: n, seed: seed}
+	p.mu.Lock()
+	e := p.pending[key]
+	if e != nil {
+		delete(p.pending, key)
+	}
+	p.mu.Unlock()
+	if e == nil {
+		return p.miss(n, seed, dst)
+	}
+	if p.SyncAfter > 0 {
+		select {
+		case <-e.done:
+		case <-time.After(p.SyncAfter):
+			// The prefetch is stuck behind a slow link. Abandon it (run/reap
+			// return its buffers once the RPC settles) and fetch now — a
+			// duplicate RPC costs latency, never correctness.
+			p.mu.Lock()
+			e.abandoned = true
+			p.mu.Unlock()
+			go p.reap(e)
+			return p.miss(n, seed, dst)
+		}
+	} else {
+		<-e.done
+	}
+	p.mu.Lock()
+	sc, err := e.sc, e.err
+	e.sc = nil
+	p.mu.Unlock()
+	if err != nil || sc == nil {
+		return p.miss(n, seed, dst)
+	}
+	defer p.release(sc)
+	p.split(sc, dst)
+	idx := make([]int, n)
+	copy(idx, sc.idx[:n])
+	if p.hits != nil {
+		p.hits.Inc()
+	}
+	return idx, nil
+}
+
+// miss is the synchronous fallback path.
+func (p *PrefetchSource) miss(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
+	if p.misses != nil {
+		p.misses.Inc()
+	}
+	return p.RemoteSource.SampleBatch(n, seed, dst)
+}
+
+var (
+	_ replay.TransitionSource = (*PrefetchSource)(nil)
+	_ replay.BatchPrefetcher  = (*PrefetchSource)(nil)
+)

@@ -9,10 +9,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"marlperf/internal/expstore"
+	"marlperf/internal/f64le"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
 )
@@ -104,8 +106,15 @@ type Server struct {
 	// Sample metrics.
 	sampleRequests *telemetry.Counter
 	sampleRows     *telemetry.Counter
+	sampleBytes    *telemetry.Counter
 	sampleErrors   *telemetry.Counter
 	sampleSeconds  *telemetry.Histogram
+
+	// samplePool recycles per-request sample scratch (index slice + response
+	// frame buffer) across requests. Response frames for a mid-size workload
+	// run to megabytes; re-allocating and re-growing them per request was
+	// the direct cause of remote throughput degrading with batch size.
+	samplePool sync.Pool
 	// Occupancy gauges.
 	storeRows     *telemetry.Gauge
 	storeSegments *telemetry.Gauge
@@ -136,6 +145,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	reg.SetHelp("marl_exp_ingest_rows_total", "Transition rows ingested into the experience store.")
 	reg.SetHelp("marl_exp_sample_requests_total", "Sample requests served by the experience store.")
+	reg.SetHelp("marl_exp_sample_bytes_total", "Sample response bytes written to the wire.")
 	s := &Server{
 		cfg:     cfg,
 		layout:  layout,
@@ -152,6 +162,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		appendSeconds:  reg.Histogram("marl_exp_append_seconds", nil),
 		sampleRequests: reg.Counter("marl_exp_sample_requests_total"),
 		sampleRows:     reg.Counter("marl_exp_sample_rows_total"),
+		sampleBytes:    reg.Counter("marl_exp_sample_bytes_total"),
 		sampleErrors:   reg.Counter("marl_exp_sample_errors_total"),
 		sampleSeconds:  reg.Histogram("marl_exp_sample_seconds", nil),
 		storeRows:      reg.Gauge("marl_exp_store_rows"),
@@ -506,16 +517,51 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(appendReply{Total: res.total, Rows: res.rows, Dup: res.dup})
 }
 
+// leGatherer is the zero-copy fast path contract: providers that can write
+// selected rows straight from their row storage into a response buffer as
+// little-endian bytes (expstore.Ring and expstore.Store both can). Others
+// fall back to SamplePacked plus an encode pass.
+type leGatherer interface {
+	GatherEncodeLE(indices []int, dst []byte)
+}
+
+// sampleScratch is one request's worth of recycled sample state.
+type sampleScratch struct {
+	idx  []int
+	buf  []byte    // full response frame
+	rows []float64 // fallback gather target (providers without GatherEncodeLE)
+}
+
+// readSampleRequest parses either wire form of a sample request: the binary
+// frame (preferred — fixed-size, CRC-checked) or the legacy JSON body.
+func readSampleRequest(r *http.Request) (sampleRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return sampleRequest{}, err
+	}
+	if len(body) >= 4 && string(body[:4]) == sampleReqMagic {
+		return decodeSampleRequest(body)
+	}
+	var req sampleRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return sampleRequest{}, err
+	}
+	return req, nil
+}
+
 // handleSample executes one seeded plan server-side. Selection and gather
-// run as a single atomic provider operation, so the learner's locality runs
-// stay contiguous even while actors append concurrently.
+// run under one provider read lock, so the learner's locality runs stay
+// contiguous even while actors append concurrently. The response frame is
+// assembled in pooled, pre-sized scratch — rows move ring storage → frame
+// buffer in one hop — and ships with a known Content-Length so the write
+// path never chunks.
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req sampleRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	req, err := readSampleRequest(r)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -530,22 +576,55 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.sampleRequests.Inc()
 	stride := s.layout.Stride()
-	idx := make([]int, req.N)
-	rows := make([]float64, req.N*stride)
+	total := sampleReplySize(req.N, stride)
+
+	sc, _ := s.samplePool.Get().(*sampleScratch)
+	if sc == nil {
+		sc = &sampleScratch{}
+	}
+	defer s.samplePool.Put(sc)
+	if cap(sc.idx) < req.N {
+		sc.idx = make([]int, req.N)
+	}
+	if cap(sc.buf) < total {
+		sc.buf = make([]byte, total)
+	}
+	idx := sc.idx[:req.N]
+	buf := sc.buf[:total]
+
 	s.provMu.RLock()
-	err := s.cfg.Provider.SamplePacked(req.Plan, req.N, req.Seed, idx, rows)
+	enc, fast := s.cfg.Provider.(leGatherer)
+	if fast {
+		err = req.Plan.FillIndices(idx, s.cfg.Provider.RowCount(), req.Seed)
+		if err == nil {
+			enc.GatherEncodeLE(idx, buf[sampleReplyHdr:])
+		}
+	} else {
+		if cap(sc.rows) < req.N*stride {
+			sc.rows = make([]float64, req.N*stride)
+		}
+		err = s.cfg.Provider.SamplePacked(req.Plan, req.N, req.Seed, idx, sc.rows[:req.N*stride])
+		if err == nil {
+			f64le.Put(buf[sampleReplyHdr:], sc.rows[:req.N*stride])
+		}
+	}
 	s.provMu.RUnlock()
 	if err != nil {
-		s.sampleErrors.Inc()
 		// An empty/underfilled store is the learner polling before warmup,
 		// not a server fault.
+		s.sampleErrors.Inc()
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	putSampleReplyHeader(buf, req.N, stride)
+	putSampleReplyIndex(buf, req.N, stride, idx)
+
 	s.sampleRows.Add(uint64(req.N))
+	s.sampleBytes.Add(uint64(total))
 	s.sampleSeconds.Observe(time.Since(start).Seconds())
 	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(encodeSampleReply(nil, idx, rows, stride))
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	_, _ = w.Write(buf)
 }
 
 // handleStats reports the spec, occupancy and per-actor append cursors as

@@ -1,0 +1,71 @@
+package expstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"marlperf/internal/f64le"
+)
+
+// GatherEncodeLE is GatherPacked fused with the wire encode: the bytes it
+// writes must decode to exactly the floats GatherPacked gathers, for any
+// index set, including after the ring wraps.
+func TestGatherEncodeLEMatchesGatherPacked(t *testing.T) {
+	spec := testSpec(64)
+	ring := NewRing(spec)
+	stride := ring.Layout().Stride()
+	rng := rand.New(rand.NewSource(5))
+	row := make([]float64, stride)
+	for seq := 0; seq < 100; seq++ { // wraps the 64-row window
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		row[0] = math.NaN() // bit-exactness must survive non-finite values
+		ring.Append(row)
+	}
+
+	idx := make([]int, 32)
+	for i := range idx {
+		idx[i] = rng.Intn(ring.Len())
+	}
+	packed := make([]float64, len(idx)*stride)
+	ring.GatherPacked(idx, packed)
+
+	encoded := make([]byte, len(idx)*stride*8)
+	ring.GatherEncodeLE(idx, encoded)
+	decoded := make([]float64, len(idx)*stride)
+	f64le.Get(decoded, encoded)
+	for i := range packed {
+		if math.Float64bits(decoded[i]) != math.Float64bits(packed[i]) {
+			t.Fatalf("float %d: encoded path %x, packed path %x", i, math.Float64bits(decoded[i]), math.Float64bits(packed[i]))
+		}
+	}
+}
+
+// The Store wrapper must agree with the ring it guards.
+func TestStoreGatherEncodeLE(t *testing.T) {
+	spec := testSpec(32)
+	s, err := Open(t.TempDir(), spec, Options{SegmentRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendSeqs(t, s, 0, 20)
+
+	stride := s.Layout().Stride()
+	idx := []int{0, 7, 19, 3}
+	encoded := make([]byte, len(idx)*stride*8)
+	s.GatherEncodeLE(idx, encoded)
+	decoded := make([]float64, len(idx)*stride)
+	f64le.Get(decoded, encoded)
+	for i, ix := range idx {
+		want := rowForSeq(s.Layout(), uint64(ix))
+		got := decoded[i*stride : (i+1)*stride]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d (store idx %d) float %d = %v, want %v", i, ix, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ package expstore
 import (
 	"fmt"
 
+	"marlperf/internal/f64le"
 	"marlperf/internal/replay"
 )
 
@@ -131,6 +132,30 @@ func (r *Ring) GatherPacked(indices []int, dst []float64) {
 			r.tracer.Access(ringTraceBase+uint64(slot*stride*8), stride*8)
 		}
 		copy(dst[rowN*stride:(rowN+1)*stride], r.data[slot*stride:(slot+1)*stride])
+	}
+}
+
+// GatherEncodeLE copies the rows at the given insertion-order indices
+// straight into dst as little-endian float64 bytes — the experience
+// server's zero-copy response path: one memmove per row from ring storage
+// into the pooled response buffer, no intermediate []float64. dst must hold
+// len(indices)·Stride()·8 bytes. Emits the same address-trace accesses as
+// GatherPacked.
+func (r *Ring) GatherEncodeLE(indices []int, dst []byte) {
+	stride := r.layout.Stride()
+	rowBytes := stride * 8
+	if len(dst) < len(indices)*rowBytes {
+		panic(fmt.Sprintf("expstore: GatherEncodeLE dst %d bytes for %d rows of %d bytes", len(dst), len(indices), rowBytes))
+	}
+	for rowN, idx := range indices {
+		if idx < 0 || idx >= r.length {
+			panic(fmt.Sprintf("expstore: gather index %d outside [0,%d)", idx, r.length))
+		}
+		slot := (r.start + idx) % r.cap
+		if r.tracer != nil {
+			r.tracer.Access(ringTraceBase+uint64(slot*rowBytes), rowBytes)
+		}
+		f64le.Put(dst[rowN*rowBytes:(rowN+1)*rowBytes], r.data[slot*stride:(slot+1)*stride])
 	}
 }
 

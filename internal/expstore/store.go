@@ -379,6 +379,15 @@ func (s *Store) SamplePacked(plan replay.SamplePlan, n int, seed int64, idx []in
 	return s.ring.SamplePacked(plan, n, seed, idx, rows)
 }
 
+// GatherEncodeLE copies the rows at the given insertion-order indices into
+// dst as little-endian float64 bytes under one read lock (see
+// Ring.GatherEncodeLE).
+func (s *Store) GatherEncodeLE(indices []int, dst []byte) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.ring.GatherEncodeLE(indices, dst)
+}
+
 // Stats is a point-in-time snapshot of store occupancy.
 type Stats struct {
 	Rows     int    `json:"rows"`      // sampleable rows in the ring window

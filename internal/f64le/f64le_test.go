@@ -1,0 +1,76 @@
+package f64le
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func refBytes(f []float64) []byte {
+	out := make([]byte, 8*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func testVals() []float64 {
+	return []float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, math.Copysign(0, -1)}
+}
+
+func TestPutMatchesPortableEncoding(t *testing.T) {
+	f := testVals()
+	dst := make([]byte, 8*len(f))
+	Put(dst, f)
+	want := refBytes(f)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("byte %d: Put wrote %#x, portable encoding %#x", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestGetRoundTripsBitExactly(t *testing.T) {
+	f := testVals()
+	enc := refBytes(f)
+	got := make([]float64, len(f))
+	Get(got, enc)
+	for i := range f {
+		if math.Float64bits(got[i]) != math.Float64bits(f[i]) {
+			t.Fatalf("element %d: round trip %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(f[i]))
+		}
+	}
+}
+
+func TestFloatsViewAliasesOrNil(t *testing.T) {
+	f := testVals()
+	enc := refBytes(f)
+	if v := Floats(enc); v != nil {
+		for i := range f {
+			if math.Float64bits(v[i]) != math.Float64bits(f[i]) {
+				t.Fatalf("view element %d: %x, want %x", i, math.Float64bits(v[i]), math.Float64bits(f[i]))
+			}
+		}
+	}
+	// A misaligned or odd-length buffer must never yield a view.
+	if v := Floats(enc[1:9]); v != nil {
+		t.Fatal("misaligned buffer produced a reinterpreting view")
+	}
+	if v := Floats(enc[:7]); v != nil {
+		t.Fatal("non-multiple-of-8 buffer produced a reinterpreting view")
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	Put(nil, nil)
+	Get(nil, nil)
+	if Native {
+		if b := Bytes([]float64{}); b == nil {
+			t.Fatal("empty Bytes view is nil on a little-endian host")
+		}
+		if f := Floats([]byte{}); f == nil {
+			t.Fatal("empty Floats view is nil on a little-endian host")
+		}
+	}
+}

@@ -117,6 +117,14 @@ type Request struct {
 	// local fallback (the actor's spool) use this to shed load off a dead
 	// peer without stalling.
 	FailFast bool
+	// Scratch, when non-nil, receives the response body in place of a
+	// fresh allocation whenever the server declares a Content-Length that
+	// fits (growing it once when it does not). The returned Response.Body
+	// then aliases Scratch (or its replacement), and the caller owns the
+	// buffer again the moment Do returns — the contract that lets the
+	// sample hot path recycle multi-megabyte reply buffers through a pool
+	// instead of re-growing them per request.
+	Scratch []byte
 }
 
 // Response is the first non-retryable answer the server gave. Callers see
@@ -327,6 +335,20 @@ func (c *Client) attempt(ctx context.Context, req Request) (int, http.Header, []
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
+	// With a declared length and caller scratch, read straight into the
+	// recycled buffer: no ReadAll growth copies, one allocation only when
+	// the scratch has never been this large.
+	if n := resp.ContentLength; req.Scratch != nil && n >= 0 && n <= maxBodyBytes {
+		buf := req.Scratch
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return 0, nil, nil, fmt.Errorf("reading response: %w", err)
+		}
+		return resp.StatusCode, resp.Header, buf, nil
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("reading response: %w", err)

@@ -17,6 +17,20 @@ type TransitionSource interface {
 	SampleBatch(n int, seed int64, dst []*AgentBatch) ([]int, error)
 }
 
+// BatchPrefetcher is the optional overlap hook a TransitionSource may
+// implement: the trainer announces the (n, seed) pairs it is about to
+// request — one per agent, drawn serially before the update fan-out — and
+// the source may start fetching them while gradients are still being
+// computed. Purely advisory: a source is free to ignore the hint, and a
+// SampleBatch for an unannounced seed must still work. Because batch
+// content is a pure function of (plan, length, seed), prefetching can
+// change only timing, never the bytes a learner trains on.
+type BatchPrefetcher interface {
+	// PrefetchBatch hints that SampleBatch(n, seed) calls for each seed in
+	// seeds are imminent. It must not block on the fetches themselves.
+	PrefetchBatch(n int, seeds []int64)
+}
+
 // TransitionSink receives every transition an actor (or learner) collects,
 // in collection order. Implementations may buffer; Flush publishes
 // everything buffered so far and must be called before the producer relies
