@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-workers bench-rollout bench-replay cluster-smoke chaos-smoke examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers bench-rollout bench-replay cluster-smoke chaos-smoke trace-smoke examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench-replay:
 # Five-process full-loop smoke: replayd + policyd + two actors + learner,
 # race-instrumented, asserting ≥2 policy hot-swaps per actor.
 cluster-smoke:
+	bash scripts/cluster_smoke.sh
+
+# Tracing-focused alias of the cluster smoke: the same five-process run
+# captures /tracez from every process, merges them with marl-trace, and
+# gates on ≥1 trace spanning ≥4 processes plus the learner span/profiler
+# reconciliation within 5%.
+trace-smoke:
 	bash scripts/cluster_smoke.sh
 
 # Five-process chaos smoke: seeded kills, a policyd partition and a 10%

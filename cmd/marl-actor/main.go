@@ -38,6 +38,7 @@ import (
 	"marlperf/internal/replay"
 	"marlperf/internal/rollout"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 const (
@@ -66,7 +67,12 @@ func run() int {
 		loadPath    = flag.String("load", "", "act with this policy checkpoint until the service publishes a newer one")
 		batchRows   = flag.Int("batch-rows", 512, "transitions per shipped append batch")
 		logEvery    = flag.Int("log-every", 20, "episodes between progress lines")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz here (empty: disabled)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /tracez and /healthz here (empty: disabled)")
+		runlogPath  = flag.String("runlog", "", "append one JSONL record per completed episode to this file")
+		traceOn     = flag.Bool("trace", false, "record distributed-trace spans for sampled engine steps; costs nothing when off")
+		traceSample = flag.Int("trace-sample", 64, "with -trace: trace every Nth engine step")
+		traceBuf    = flag.Int("trace-buf", trace.DefaultCapacity, "with -trace: span ring-buffer capacity in records")
+		traceOut    = flag.String("trace-out", "", "with -trace: write the recorded spans as Chrome trace JSON to this file at exit")
 		spoolDir    = flag.String("spool-dir", "", "spool experience batches here while the experience service is unreachable; drained in order on recovery (empty: outages fail the actor)")
 		spoolMaxMB  = flag.Int("spool-max-mb", 1024, "spool size cap in MiB; a full spool stops collection instead of filling the disk")
 		maxStale    = flag.Duration("max-staleness", 0, "pause collection when the policy service has been silent this long (0: act on the last snapshot indefinitely)")
@@ -123,7 +129,42 @@ Flags:
 		Capacity:  cfg.BufferCapacity,
 	}
 
+	if *traceOut != "" && !*traceOn {
+		fmt.Fprintln(os.Stderr, "-trace-out requires -trace")
+		return exitUsage
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "-trace-sample %d: want ≥1\n", *traceSample)
+		return exitUsage
+	}
+
 	registry := telemetry.NewRegistry()
+
+	// The tracer's proc name is the actor ID so a merged multi-process
+	// trace attributes each span row to the right actor. Nil when off —
+	// every instrumented call site no-ops.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*actorID, *traceBuf)
+		tracer.SetSampleEvery(uint64(*traceSample))
+		tracer.SetEnabled(true)
+		fmt.Printf("tracing: sampling 1 in %d engine steps into a %d-record ring\n", *traceSample, *traceBuf)
+	}
+
+	var runLog *telemetry.RunLog
+	if *runlogPath != "" {
+		l, err := telemetry.CreateRunLog(*runlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		runLog = l
+		defer func() {
+			if err := runLog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log close:", err)
+			}
+		}()
+	}
 
 	// Optional deterministic fault injection on either network edge; the
 	// chaos harness uses it to prove the resilience paths under a fixed
@@ -162,6 +203,7 @@ Flags:
 	client := expserve.NewClient(*replayAddr, expserve.ClientOptions{
 		Registry:  registry,
 		Transport: replayTransport,
+		Tracer:    tracer,
 	})
 	sink, err := expserve.NewRemoteSink(client, *actorID, spec)
 	if err != nil {
@@ -212,7 +254,11 @@ Flags:
 	}
 
 	if *metricsAddr != "" {
-		ms, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: registry})
+		srvCfg := telemetry.ServerConfig{Registry: registry}
+		if tracer != nil {
+			srvCfg.Tracez = tracer.Handler()
+		}
+		ms, err := telemetry.StartServer(*metricsAddr, srvCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
@@ -230,6 +276,7 @@ Flags:
 		MaxEpisodeLen: cfg.MaxEpisodeLen,
 		Sink:          sink,
 		Registry:      registry,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -243,6 +290,7 @@ Flags:
 		pc := policysync.NewClient(*policyAddr, policysync.ClientOptions{
 			Registry:  registry,
 			Transport: policyTransport,
+			Tracer:    tracer,
 		})
 		syncer = policysync.NewSyncer(pc, 10*time.Second)
 		syncer.OnError = func(err error) { fmt.Fprintln(os.Stderr, "policy fetch:", err) }
@@ -306,7 +354,7 @@ Flags:
 			if snap := syncer.Latest(); snap != nil {
 				eng.NoteKnownVersion(snap.Version)
 				if snap.Version > eng.PolicyVersion() {
-					if err := eng.Install(snap.Version, snap.Agents); err != nil {
+					if err := eng.InstallCtx(snap.Version, snap.Agents, snap.TraceCtx); err != nil {
 						fmt.Fprintln(os.Stderr, "installing policy:", err)
 						return exitError
 					}
@@ -320,11 +368,28 @@ Flags:
 			return exitError
 		}
 		completed += n
+		if n > 0 && runLog != nil {
+			if err := runLog.Append(actorEpisodeRecord{
+				Event: "episode", Episodes: completed, Completed: n,
+				Steps: eng.TotalSteps(), Reward: eng.LastEpisodeReward(),
+				PolicyVersion: eng.PolicyVersion(),
+				ElapsedSec:    time.Since(start).Seconds(),
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log append failed:", err)
+				runLog = nil
+			}
+		}
 		if n > 0 && *logEvery > 0 && completed >= nextLog {
 			nextLog += *logEvery
 			fmt.Printf("episode %6d  reward %10.2f  steps %d  policy v%d  elapsed %v\n",
 				completed, eng.LastEpisodeReward(), eng.TotalSteps(), eng.PolicyVersion(),
 				time.Since(start).Round(time.Millisecond))
+			if runLog != nil {
+				if err := runLog.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "warning: run log flush failed:", err)
+					runLog = nil
+				}
+			}
 		}
 		select {
 		case sig := <-sigCh:
@@ -353,12 +418,45 @@ Flags:
 				edge, c.Requests, c.Dropped, c.Errored, c.Delayed)
 		}
 	}
+	if tracer != nil && *traceOut != "" {
+		if err := writeTraceJSON(tracer, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			return exitError
+		}
+		fmt.Printf("trace written to %s (%d spans, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
 	fmt.Printf("done: %d episodes, %d transitions published, final policy v%d in %v\n",
 		completed, eng.TotalSteps(), eng.PolicyVersion(), time.Since(start).Round(time.Millisecond))
 	if interrupted {
 		return exitInterrupted
 	}
 	return exitOK
+}
+
+// actorEpisodeRecord is one -runlog line: emitted whenever an engine step
+// completes at least one episode.
+type actorEpisodeRecord struct {
+	Event         string  `json:"event"` // always "episode"
+	Episodes      int     `json:"episodes"`
+	Completed     int     `json:"completed"` // episodes finished on this step
+	Steps         uint64  `json:"steps"`
+	Reward        float64 `json:"reward"` // most recently completed episode
+	PolicyVersion uint64  `json:"policy_version"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+}
+
+// writeTraceJSON dumps the span ring as Chrome trace JSON, the same
+// document /tracez serves.
+func writeTraceJSON(tracer *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // envFactory maps the -env flag to an independent-instance constructor.
@@ -383,7 +481,7 @@ func envFactory(name string, agents int) (func() mpe.Env, error) {
 func installInitialPolicy(eng *rollout.Engine, syncer *policysync.Syncer, wait time.Duration, cfg marlperf.Config, env mpe.Env, loadPath string) error {
 	if syncer != nil {
 		if snap := syncer.WaitFirst(wait); snap != nil {
-			if err := eng.Install(snap.Version, snap.Agents); err != nil {
+			if err := eng.InstallCtx(snap.Version, snap.Agents, snap.TraceCtx); err != nil {
 				return fmt.Errorf("installing served policy: %w", err)
 			}
 			fmt.Printf("policy: installed v%d (learner updates %d)\n", snap.Version, snap.Updates)

@@ -29,6 +29,7 @@ func main() {
 		format      = flag.String("format", "text", "output format: text or md")
 		workers     = flag.Int("workers", 0, "update-stage worker pool size (0: keep the scale's serial default); results are seed-identical for any value")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
+		runlogPath  = flag.String("runlog", "", "append one JSONL record per completed experiment to this file")
 	)
 	flag.Parse()
 
@@ -90,6 +91,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s (pprof at /debug/pprof)\n", srv.Addr())
 	}
 
+	var runLog *telemetry.RunLog
+	if *runlogPath != "" {
+		l, err := telemetry.CreateRunLog(*runlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runLog = l
+		defer func() {
+			if err := runLog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log close:", err)
+			}
+		}()
+	}
+
 	for _, r := range runners {
 		var running *telemetry.Gauge
 		if reg != nil {
@@ -104,6 +120,13 @@ func main() {
 			reg.Counter("marl_bench_experiments_completed_total").Inc()
 			reg.Histogram("marl_bench_experiment_seconds", nil).Observe(elapsed.Seconds())
 		}
+		if runLog != nil {
+			_ = runLog.Append(experimentRecord{
+				Event: "experiment", Time: time.Now(),
+				ID: r.ID, Scale: s.Name, ElapsedSec: elapsed.Seconds(),
+			})
+			_ = runLog.Flush()
+		}
 		if *format == "md" {
 			fmt.Printf("## %s — %s (scale=%s)\n\n", r.ID, r.Description, s.Name)
 			fmt.Println(res.Markdown())
@@ -113,4 +136,13 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
+}
+
+// experimentRecord is one -runlog line, emitted per completed experiment.
+type experimentRecord struct {
+	Event      string    `json:"event"` // always "experiment"
+	Time       time.Time `json:"time"`
+	ID         string    `json:"id"`
+	Scale      string    `json:"scale"`
+	ElapsedSec float64   `json:"elapsed_sec"`
 }

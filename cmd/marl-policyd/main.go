@@ -23,11 +23,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"marlperf/internal/policysync"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 const (
@@ -45,6 +47,11 @@ func run() int {
 		maxFrame = flag.Int64("max-frame-bytes", 256<<20, "largest accepted policy snapshot")
 		quiet    = flag.Bool("quiet", false, "suppress the per-publish log line")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "grace period for in-flight responses on SIGINT/SIGTERM")
+
+		metricsAddr = flag.String("metrics-addr", "", "additionally serve /metrics, /tracez, /healthz and /debug/pprof on this separate address (the main -addr always serves /metrics)")
+		runlogPath  = flag.String("runlog", "", "append one JSONL record per accepted publish to this file")
+		traceOn     = flag.Bool("trace", false, "record server spans for traced publish/fetch requests (X-Marl-Trace header); costs nothing when off")
+		traceBuf    = flag.Int("trace-buf", trace.DefaultCapacity, "with -trace: span ring-buffer capacity in records")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-policyd [flags]
@@ -72,16 +79,53 @@ Flags:
 
 	registry := telemetry.NewRegistry()
 	store := policysync.NewStore(registry)
-	if !*quiet {
-		store.OnPublish = func(version, updates uint64, bytes int) {
+
+	var runLog *telemetry.RunLog
+	if *runlogPath != "" {
+		l, err := telemetry.CreateRunLog(*runlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		runLog = l
+		defer func() {
+			if err := runLog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log close:", err)
+			}
+		}()
+	}
+	// OnPublish runs outside the store lock on the publishing request's
+	// goroutine; the buffered run-log writer is not concurrency-safe, so
+	// concurrent publishes (possible, if unusual) serialize on logMu.
+	var logMu sync.Mutex
+	store.OnPublish = func(version, updates uint64, bytes int) {
+		if !*quiet {
 			fmt.Printf("published v%d (learner updates %d, %d bytes)\n", version, updates, bytes)
 		}
+		if runLog != nil {
+			logMu.Lock()
+			_ = runLog.Append(publishRecord{
+				Event: "publish", Time: time.Now(),
+				Version: version, Updates: updates, Bytes: bytes,
+			})
+			_ = runLog.Flush()
+			logMu.Unlock()
+		}
 	}
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New("policyd", *traceBuf)
+		tracer.SetEnabled(true)
+		fmt.Printf("tracing: recording spans for traced requests into a %d-record ring\n", *traceBuf)
+	}
+
 	srv, err := policysync.NewServer(policysync.ServerConfig{
 		Store:         store,
 		MaxWait:       *maxWait,
 		MaxFrameBytes: *maxFrame,
 		Registry:      registry,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,6 +141,27 @@ Flags:
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		tracer.Handler().ServeHTTP(w, r)
+	})
+
+	if *metricsAddr != "" {
+		srvCfg := telemetry.ServerConfig{Registry: registry}
+		if tracer != nil {
+			srvCfg.Tracez = tracer.Handler()
+		}
+		ms, err := telemetry.StartServer(*metricsAddr, srvCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ms.Addr())
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
@@ -138,4 +203,13 @@ Flags:
 		}
 		return exitOK
 	}
+}
+
+// publishRecord is one -runlog line, emitted per accepted publish.
+type publishRecord struct {
+	Event   string    `json:"event"` // always "publish"
+	Time    time.Time `json:"time"`
+	Version uint64    `json:"version"`
+	Updates uint64    `json:"updates"`
+	Bytes   int       `json:"bytes"`
 }

@@ -24,6 +24,7 @@ import (
 	"marlperf/internal/replay"
 	"marlperf/internal/simcache"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // samplingCounters is the simulated hardware-counter block of one config.
@@ -56,8 +57,11 @@ func main() {
 		fill        = flag.Int("fill", 20000, "buffer fill for the counter trace")
 		workers     = flag.Int("workers", 1, "update-stage worker pool size (0: GOMAXPROCS); phase times are per-pool, results are seed-identical")
 		jsonOut     = flag.Bool("json", false, "print one machine-readable JSON line per configuration instead of the text tables")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /profilez, /healthz and /debug/pprof on this address while profiling")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /profilez, /tracez, /healthz and /debug/pprof on this address while profiling")
 		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
+		traceOn     = flag.Bool("trace", false, "record distributed-trace spans for sampled update stages; costs nothing when off")
+		traceSample = flag.Int("trace-sample", 1, "with -trace: trace every Nth update stage")
+		traceOut    = flag.String("trace-out", "", "with -trace: write the recorded spans as Chrome trace JSON to this file at exit")
 	)
 	flag.Parse()
 
@@ -82,11 +86,30 @@ func main() {
 		profSnap *telemetry.JSONSnapshot
 		runLog   *telemetry.RunLog
 	)
+	// spanTracer is the distributed-trace span recorder, distinct from the
+	// simulated-cache access tracer the counter section uses.
+	var spanTracer *trace.Tracer
+	if *traceOn {
+		if *traceSample < 1 {
+			fmt.Fprintf(os.Stderr, "-trace-sample %d: want ≥1\n", *traceSample)
+			os.Exit(2)
+		}
+		spanTracer = trace.New("profile", trace.DefaultCapacity)
+		spanTracer.SetSampleEvery(uint64(*traceSample))
+		spanTracer.SetEnabled(true)
+	} else if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "-trace-out requires -trace")
+		os.Exit(2)
+	}
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		col = telemetry.NewPhaseCollector(reg)
 		profSnap = &telemetry.JSONSnapshot{}
-		srv, err := telemetry.StartServer(*metricsAddr, telemetry.ServerConfig{Registry: reg, Profilez: profSnap})
+		srvCfg := telemetry.ServerConfig{Registry: reg, Profilez: profSnap}
+		if spanTracer != nil {
+			srvCfg.Tracez = spanTracer.Handler()
+		}
+		srv, err := telemetry.StartServer(*metricsAddr, srvCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -125,6 +148,7 @@ func main() {
 		if col != nil {
 			tr.SetPhaseObserver(col)
 		}
+		tr.SetTracer(spanTracer)
 		if runLog != nil {
 			tr.SetUpdateListener(func(ev core.UpdateEvent) {
 				if err := runLog.Append(ev); err != nil {
@@ -208,6 +232,20 @@ func main() {
 				st.Accesses, st.L1Misses, st.L3Misses, st.TLBMisses)
 		}
 		tr.Close()
+	}
+	if spanTracer != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = spanTracer.WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", *traceOut, spanTracer.Len())
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"marlperf/internal/expstore"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 const (
@@ -55,6 +57,12 @@ func run() int {
 		queue    = flag.Int("queue-depth", 64, "ingest queue depth in batches; a full queue answers 429")
 		maxRows  = flag.Int("max-sample-rows", 4096, "largest mini-batch one sample request may ask for")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and the ingest queue on SIGINT/SIGTERM")
+
+		metricsAddr = flag.String("metrics-addr", "", "additionally serve /metrics, /tracez, /healthz and /debug/pprof on this separate address (the main -addr always serves /metrics)")
+		runlogPath  = flag.String("runlog", "", "append one JSONL service-stats record per -runlog-every period to this file")
+		runlogEvery = flag.Duration("runlog-every", 10*time.Second, "period between -runlog stats records")
+		traceOn     = flag.Bool("trace", false, "record server spans for traced append/sample requests (X-Marl-Trace header); costs nothing when off")
+		traceBuf    = flag.Int("trace-buf", trace.DefaultCapacity, "with -trace: span ring-buffer capacity in records")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-replayd [flags]
@@ -125,6 +133,17 @@ Flags:
 	}
 
 	registry := telemetry.NewRegistry()
+
+	// Server spans are born from incoming X-Marl-Trace headers, so replayd
+	// needs no sampling cadence of its own — the callers decide what is
+	// traced; this process just records its side of those requests.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New("replayd", *traceBuf)
+		tracer.SetEnabled(true)
+		fmt.Printf("tracing: recording spans for traced requests into a %d-record ring\n", *traceBuf)
+	}
+
 	srv, err := expserve.NewServer(expserve.ServerConfig{
 		Provider:      provider,
 		Spec:          spec,
@@ -132,6 +151,7 @@ Flags:
 		MaxSampleRows: *maxRows,
 		Registry:      registry,
 		DedupLogPath:  dedupPath,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -148,6 +168,38 @@ Flags:
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		tracer.Handler().ServeHTTP(w, r)
+	})
+
+	if *metricsAddr != "" {
+		srvCfg := telemetry.ServerConfig{Registry: registry}
+		if tracer != nil {
+			srvCfg.Tracez = tracer.Handler()
+		}
+		ms, err := telemetry.StartServer(*metricsAddr, srvCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ms.Addr())
+	}
+
+	stopRunLog := func() {}
+	if *runlogPath != "" {
+		stop, err := startStatsLog(*runlogPath, *runlogEvery, provider, registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		stopRunLog = stop
+	}
+	defer stopRunLog()
 
 	hs := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
@@ -191,4 +243,69 @@ Flags:
 		}
 		return exitOK
 	}
+}
+
+// statsRecord is one -runlog line: a periodic occupancy/throughput snapshot
+// of the service, readable next to a learner's or actor's run log.
+type statsRecord struct {
+	Event         string    `json:"event"` // always "stats"
+	Time          time.Time `json:"time"`
+	Rows          int       `json:"rows"` // retained window occupancy
+	IngestBatches uint64    `json:"ingest_batches"`
+	IngestRows    uint64    `json:"ingest_rows"`
+	SampleReqs    uint64    `json:"sample_requests"`
+	SampleRows    uint64    `json:"sample_rows"`
+}
+
+// startStatsLog appends one statsRecord per period until the returned stop
+// function runs (which also writes a final record so the log always ends
+// with the service's exit state).
+func startStatsLog(path string, every time.Duration, provider expstore.Provider, reg *telemetry.Registry) (func(), error) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	l, err := telemetry.CreateRunLog(path)
+	if err != nil {
+		return nil, err
+	}
+	record := func() statsRecord {
+		return statsRecord{
+			Event:         "stats",
+			Time:          time.Now(),
+			Rows:          provider.RowCount(),
+			IngestBatches: reg.Counter("marl_exp_ingest_batches_total").Value(),
+			IngestRows:    reg.Counter("marl_exp_ingest_rows_total").Value(),
+			SampleReqs:    reg.Counter("marl_exp_sample_requests_total").Value(),
+			SampleRows:    reg.Counter("marl_exp_sample_rows_total").Value(),
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := l.Append(record()); err != nil {
+					return
+				}
+				_ = l.Flush()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			_ = l.Append(record())
+			if err := l.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: run log close:", err)
+			}
+		})
+	}, nil
 }

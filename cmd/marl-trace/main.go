@@ -1,0 +1,427 @@
+// Command marl-trace captures, merges, and analyzes the distributed traces
+// the loop's processes record: each source is a /tracez endpoint (or a file
+// written by -trace-out) serving Chrome-trace JSON, and spans carry their
+// trace/span/parent IDs in event args, so captures from N processes stitch
+// back into end-to-end traces of the actor → replayd → learner → policyd
+// loop.
+//
+// Usage:
+//
+//	marl-trace -o merged.json \
+//	  http://127.0.0.1:9090/tracez http://127.0.0.1:9300/tracez \
+//	  http://127.0.0.1:9400/tracez learner-trace.json
+//
+// The merged file opens directly in Perfetto / chrome://tracing (each
+// source becomes one process row). The report prints how many traces span
+// how many processes, the widest trace's process chain, and a per-update
+// critical-path breakdown (per span name: count, total, mean, share of
+// update time). -require-procs gates CI on cross-process stitching;
+// -profilez reconciles learner phase-span sums against the profiler.
+//
+// Exit codes:
+//
+//	0  report produced (and all requested gates passed)
+//	1  runtime failure (unreachable source, unparseable capture)
+//	2  bad command line
+//	4  a gate failed (-require-procs or -profilez reconciliation)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"marlperf/internal/trace"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+	exitGate  = 4
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		out       = flag.String("o", "", "write the merged Chrome trace JSON here (opens in Perfetto)")
+		reqProcs  = flag.Int("require-procs", 0, "fail (exit 4) unless at least one trace spans this many distinct processes")
+		profilez  = flag.String("profilez", "", "learner /profilez URL or JSON file; reconcile phase-span sums against its phase totals")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed relative deviation for the -profilez reconciliation")
+		timeout   = flag.Duration("timeout", 5*time.Second, "HTTP timeout per capture")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: marl-trace [flags] <source>...
+
+Each source is a /tracez URL (http://host:port/tracez) or a Chrome-trace
+JSON file written by a -trace-out flag. Captures are merged by the
+trace/span IDs in event args; the report breaks down per-update critical
+paths and verifies cross-process stitching.
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "need at least one /tracez URL or trace file")
+		return exitUsage
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var spans []span
+	merged := trace.ChromeTrace{DisplayTimeUnit: "ms"}
+	for i, src := range flag.Args() {
+		ct, err := loadSource(client, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capturing %s: %v\n", src, err)
+			return exitError
+		}
+		// Every source gets its own pid row in the merged view. The span
+		// identity lives in args, so the remap is display-only.
+		pid := i + 1
+		n := 0
+		named := false
+		for _, ev := range ct.TraceEvents {
+			ev.Pid = pid
+			if ev.Ph == "M" {
+				named = named || ev.Name == "process_name"
+				merged.TraceEvents = append(merged.TraceEvents, ev)
+				continue
+			}
+			if ev.Ph != "X" {
+				merged.TraceEvents = append(merged.TraceEvents, ev)
+				continue
+			}
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+			if sp, ok := eventSpan(ev); ok {
+				spans = append(spans, sp)
+				n++
+			}
+		}
+		if !named {
+			merged.TraceEvents = append(merged.TraceEvents, trace.ChromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": src},
+			})
+		}
+		fmt.Printf("%-44s %6d spans\n", src, n)
+	}
+
+	if *out != "" {
+		if err := writeMerged(*out, merged); err != nil {
+			fmt.Fprintln(os.Stderr, "writing merged trace:", err)
+			return exitError
+		}
+		fmt.Printf("merged trace written to %s (%d events)\n", *out, len(merged.TraceEvents))
+	}
+
+	traces := groupTraces(spans)
+	reportStitching(traces)
+	reportBreakdown(traces)
+
+	code := exitOK
+	if *reqProcs > 0 {
+		widest := 0
+		for _, tr := range traces {
+			if n := len(tr.procs); n > widest {
+				widest = n
+			}
+		}
+		if widest < *reqProcs {
+			fmt.Fprintf(os.Stderr, "FAIL: no trace spans %d processes (widest: %d)\n", *reqProcs, widest)
+			code = exitGate
+		} else {
+			fmt.Printf("OK: at least one trace spans ≥%d processes\n", *reqProcs)
+		}
+	}
+	if *profilez != "" {
+		ok, err := reconcileProfile(client, *profilez, spans, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilez reconciliation:", err)
+			return exitError
+		}
+		if !ok {
+			code = exitGate
+		}
+	}
+	return code
+}
+
+// span is one parsed ph "X" event.
+type span struct {
+	traceID, spanID, parentID uint64
+	name, proc                string
+	ts, dur                   float64 // microseconds
+}
+
+// eventSpan extracts the span identity from a complete event's args.
+func eventSpan(ev trace.ChromeEvent) (span, bool) {
+	tid, ok1 := argID(ev.Args, trace.ArgTrace)
+	sid, ok2 := argID(ev.Args, trace.ArgSpan)
+	if !ok1 || !ok2 {
+		return span{}, false
+	}
+	pid, _ := argID(ev.Args, trace.ArgParent)
+	proc, _ := ev.Args[trace.ArgProc].(string)
+	return span{
+		traceID: tid, spanID: sid, parentID: pid,
+		name: ev.Name, proc: proc, ts: ev.Ts, dur: ev.Dur,
+	}, true
+}
+
+func argID(args map[string]any, key string) (uint64, bool) {
+	s, ok := args[key].(string)
+	if !ok {
+		return 0, false
+	}
+	return trace.ParseID(s)
+}
+
+// loadSource fetches one capture: a /tracez endpoint or a JSON file.
+func loadSource(client *http.Client, src string) (trace.ChromeTrace, error) {
+	var data []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := client.Get(src)
+		if err != nil {
+			return trace.ChromeTrace{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return trace.ChromeTrace{}, fmt.Errorf("server answered %d", resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return trace.ChromeTrace{}, err
+		}
+	} else {
+		var err error
+		data, err = os.ReadFile(src)
+		if err != nil {
+			return trace.ChromeTrace{}, err
+		}
+	}
+	return trace.ParseChrome(data)
+}
+
+func writeMerged(path string, ct trace.ChromeTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(ct); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// traceGroup is every captured span sharing one trace ID.
+type traceGroup struct {
+	id    uint64
+	spans []span
+	procs map[string]bool
+	root  *span // the span whose parent is outside the capture, if unique
+}
+
+func groupTraces(spans []span) []*traceGroup {
+	byID := make(map[uint64]*traceGroup)
+	for _, sp := range spans {
+		g := byID[sp.traceID]
+		if g == nil {
+			g = &traceGroup{id: sp.traceID, procs: make(map[string]bool)}
+			byID[g.id] = g
+		}
+		g.spans = append(g.spans, sp)
+		if sp.proc != "" {
+			g.procs[sp.proc] = true
+		}
+	}
+	out := make([]*traceGroup, 0, len(byID))
+	for _, g := range byID {
+		ids := make(map[uint64]bool, len(g.spans))
+		for _, sp := range g.spans {
+			ids[sp.spanID] = true
+		}
+		for i := range g.spans {
+			if !ids[g.spans[i].parentID] {
+				if g.root != nil {
+					g.root = nil // ambiguous: partial capture with several orphans
+					break
+				}
+				g.root = &g.spans[i]
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].procs) != len(out[j].procs) {
+			return len(out[i].procs) > len(out[j].procs)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// reportStitching summarizes how widely traces stitched across processes.
+func reportStitching(traces []*traceGroup) {
+	if len(traces) == 0 {
+		fmt.Println("\nno spans captured")
+		return
+	}
+	byWidth := make(map[int]int)
+	for _, g := range traces {
+		byWidth[len(g.procs)]++
+	}
+	widths := make([]int, 0, len(byWidth))
+	for w := range byWidth {
+		widths = append(widths, w)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(widths)))
+	fmt.Printf("\n%d traces captured:\n", len(traces))
+	for _, w := range widths {
+		fmt.Printf("  %4d spanning %d process(es)\n", byWidth[w], w)
+	}
+	widest := traces[0] // sorted widest-first
+	procs := make([]string, 0, len(widest.procs))
+	for p := range widest.procs {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	rootName := "?"
+	if widest.root != nil {
+		rootName = widest.root.name
+	}
+	fmt.Printf("widest trace %s: %d spans, root %q, processes: %s\n",
+		trace.FormatID(widest.id), len(widest.spans), rootName, strings.Join(procs, ", "))
+}
+
+// reportBreakdown prints the per-update critical-path table: for traces
+// rooted at an "update" span, how the loop's time splits per span name.
+func reportBreakdown(traces []*traceGroup) {
+	type agg struct {
+		name  string
+		count int
+		total float64 // microseconds
+	}
+	byName := make(map[string]*agg)
+	updates := 0
+	var rootTotal float64
+	for _, g := range traces {
+		if g.root == nil || g.root.name != "update" {
+			continue
+		}
+		updates++
+		rootTotal += g.root.dur
+		for _, sp := range g.spans {
+			a := byName[sp.name]
+			if a == nil {
+				a = &agg{name: sp.name}
+				byName[sp.name] = a
+			}
+			a.count++
+			a.total += sp.dur
+		}
+	}
+	if updates == 0 {
+		fmt.Println("\nno update-rooted traces captured (learner not among the sources?)")
+		return
+	}
+	rows := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Printf("\nper-update critical path over %d traced update(s) (total %.2f ms):\n", updates, rootTotal/1e3)
+	fmt.Printf("  %-24s %8s %12s %12s %7s\n", "span", "count", "total ms", "mean µs", "share")
+	for _, a := range rows {
+		share := 0.0
+		if rootTotal > 0 {
+			share = 100 * a.total / rootTotal
+		}
+		fmt.Printf("  %-24s %8d %12.2f %12.1f %6.1f%%\n",
+			a.name, a.count, a.total/1e3, a.total/float64(a.count), share)
+	}
+}
+
+// profileDoc is the slice of the /profilez document reconciliation needs.
+type profileDoc struct {
+	Phases []struct {
+		Phase string `json:"phase"`
+		Nanos int64  `json:"nanos"`
+	} `json:"phases"`
+}
+
+// reconcileProfile checks that per-phase span sums match the profiler's
+// totals within tolerance. It only applies when the learner traced every
+// update (-trace-sample 1) with a ring large enough to hold the whole run;
+// spans sit inside the profiler's Start/Stop windows, so their sums
+// approximate the phase totals from below.
+func reconcileProfile(client *http.Client, src string, spans []span, tolerance float64) (bool, error) {
+	var data []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, gerr := client.Get(src)
+		if gerr != nil {
+			return false, gerr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("server answered %d", resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return false, err
+	}
+	var doc profileDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return false, err
+	}
+
+	// Phases instrumented with same-named spans on the learner.
+	phaseNames := map[string]bool{
+		"mini-batch-sampling": true,
+		"target-q":            true,
+		"q-loss-p-loss":       true,
+	}
+	spanNanos := make(map[string]float64)
+	for _, sp := range spans {
+		if phaseNames[sp.name] {
+			spanNanos[sp.name] += sp.dur * 1e3 // µs → ns
+		}
+	}
+
+	ok := true
+	checked := 0
+	fmt.Println("\nprofiler reconciliation (span sums vs /profilez phase totals):")
+	for _, ph := range doc.Phases {
+		if !phaseNames[ph.Phase] || ph.Nanos == 0 {
+			continue
+		}
+		checked++
+		got := spanNanos[ph.Phase]
+		dev := (got - float64(ph.Nanos)) / float64(ph.Nanos)
+		status := "ok"
+		if dev < -tolerance || dev > tolerance {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("  %-24s spans %12.0f ns  profiler %12d ns  dev %+6.2f%%  %s\n",
+			ph.Phase, got, ph.Nanos, 100*dev, status)
+	}
+	if checked == 0 {
+		fmt.Println("  no overlapping phases found — nothing to reconcile")
+		return false, fmt.Errorf("profile document has none of the instrumented phases")
+	}
+	return ok, nil
+}

@@ -33,6 +33,7 @@ import (
 	"marlperf/internal/replay"
 	"marlperf/internal/resilience"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // Exit codes (documented in -h output).
@@ -65,8 +66,14 @@ func run() int {
 		evalEps   = flag.Int("eval", 0, "greedy evaluation episodes after training")
 		render    = flag.Bool("render", false, "render the final world state as ASCII")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /profilez, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /profilez, /tracez, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		runlogPath  = flag.String("runlog", "", "append one JSONL run-event record per update step to this file")
+
+		traceOn     = flag.Bool("trace", false, "record distributed-trace spans for sampled update stages; costs nothing when off")
+		traceSample = flag.Int("trace-sample", 1, "with -trace: trace every Nth update stage")
+		traceBuf    = flag.Int("trace-buf", trace.DefaultCapacity, "with -trace: span ring-buffer capacity in records (oldest evicted first)")
+		traceOut    = flag.String("trace-out", "", "with -trace: write the recorded spans as Chrome trace JSON to this file at exit")
+		profileJSON = flag.String("profile-json", "", "write the final phase profile as JSON to this file at exit")
 
 		replayAddr  = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
 		actorID     = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
@@ -108,6 +115,15 @@ With -metrics-addr the run is observable live: /metrics serves Prometheus
 text exposition (per-phase latency histograms, event counters, run gauges),
 /profilez the profiler state as JSON, /healthz liveness, and /debug/pprof
 the Go profiler. -runlog appends one JSONL run-event record per update step.
+
+With -trace the learner records spans for every -trace-sample-th update
+stage into a fixed ring. Trace context rides the X-Marl-Trace header on
+sample/publish RPCs, so one trace stitches learner update → replayd sample
+→ policyd publish → actor hot-swap across processes. The buffer is served
+as Chrome trace JSON on /tracez (with -metrics-addr) and written to
+-trace-out at exit; merge multi-process captures with marl-trace. Tracing
+never draws randomness or changes training bytes — traced and untraced
+runs produce bit-identical checkpoints.
 
 Exit codes:
   0  training completed
@@ -179,11 +195,29 @@ Flags:
 		fmt.Fprintf(os.Stderr, "-policy-publish-every %d: want ≥1\n", *policyEvery)
 		return exitUsage
 	}
+	if *traceOut != "" && !*traceOn {
+		fmt.Fprintln(os.Stderr, "-trace-out requires -trace")
+		return exitUsage
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "-trace-sample %d: want ≥1\n", *traceSample)
+		return exitUsage
+	}
 
 	// One registry for the whole process: trainer phase metrics, the two
 	// network clients' retry/circuit series, and the run-info gauge all
 	// land on the same /metrics page.
 	registry := telemetry.NewRegistry()
+
+	// The tracer exists only when asked for: a nil *trace.Tracer is inert
+	// (every method no-ops without allocating), so untraced runs pay nothing.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New("learner", *traceBuf)
+		tracer.SetSampleEvery(uint64(*traceSample))
+		tracer.SetEnabled(true)
+		fmt.Printf("tracing: sampling 1 in %d update stages into a %d-record ring\n", *traceSample, *traceBuf)
+	}
 
 	tr, err := marlperf.NewTrainer(cfg, env)
 	if err != nil {
@@ -191,8 +225,9 @@ Flags:
 		return exitError
 	}
 	defer tr.Close()
+	tr.SetTracer(tracer)
 	if *replayAddr != "" {
-		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, *sampleConns, *prefetch, registry); err != nil {
+		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, *sampleConns, *prefetch, registry, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
@@ -214,7 +249,7 @@ Flags:
 		fmt.Printf("restored checkpoint from %s (%d steps, %d updates)\n", *loadPath, tr.TotalSteps(), tr.UpdateCount())
 	}
 
-	tel, err := setupTelemetry(tr, registry, *metricsAddr, *runlogPath, telemetryInfo{
+	tel, err := setupTelemetry(tr, registry, *metricsAddr, *runlogPath, tracer, telemetryInfo{
 		algo: *algoName, env: env.Name(), sampler: *sampler,
 	})
 	if err != nil {
@@ -248,7 +283,7 @@ Flags:
 	// never see a staler policy than the learner is actually training.
 	var pub *policyPublisher
 	if *policyAddr != "" {
-		pub = newPolicyPublisher(*policyAddr, *policyEvery, registry)
+		pub = newPolicyPublisher(*policyAddr, *policyEvery, registry, tracer)
 		pub.onOutageEnd = func(w outageWindow) {
 			fmt.Fprintf(os.Stderr, "policy publish recovered after %v (%d updates ran unpublished)\n",
 				w.End.Sub(w.Start).Round(time.Millisecond), w.Updates)
@@ -392,6 +427,20 @@ Flags:
 		}
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
+	if *profileJSON != "" {
+		if err := writeProfileJSON(tr, *profileJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "writing profile JSON:", err)
+			return exitError
+		}
+		fmt.Printf("phase profile written to %s\n", *profileJSON)
+	}
+	if tracer != nil && *traceOut != "" {
+		if err := writeTraceJSON(tracer, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			return exitError
+		}
+		fmt.Printf("trace written to %s (%d spans, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
 	if interrupted {
 		return exitInterrupted
 	}
@@ -405,7 +454,7 @@ Flags:
 // everything this learner collects itself is published back under
 // actorID so the service's row count gates updates exactly as a local
 // buffer would.
-func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, conns int, prefetch bool, reg *telemetry.Registry) error {
+func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, conns int, prefetch bool, reg *telemetry.Registry, tracer *trace.Tracer) error {
 	plan, err := cfg.SamplePlan()
 	if err != nil {
 		return err
@@ -424,6 +473,7 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 		TotalDeadline: retryFor,
 		Registry:      reg,
 		Conns:         conns,
+		Tracer:        tracer,
 	})
 	src, err := expserve.NewRemoteSource(client, spec, plan)
 	if err != nil {
@@ -485,9 +535,9 @@ type outageWindow struct {
 	Error   string    `json:"error,omitempty"`
 }
 
-func newPolicyPublisher(addr string, every int, reg *telemetry.Registry) *policyPublisher {
+func newPolicyPublisher(addr string, every int, reg *telemetry.Registry, tracer *trace.Tracer) *policyPublisher {
 	return &policyPublisher{
-		client:      policysync.NewClient(addr, policysync.ClientOptions{Registry: reg}),
+		client:      policysync.NewClient(addr, policysync.ClientOptions{Registry: reg, Tracer: tracer}),
 		every:       every,
 		publishedAt: -1,
 		results:     make(chan pubResult, 1),
@@ -713,7 +763,7 @@ type telemetryState struct {
 // observer and per-update listener to the trainer. reg is the process-wide
 // registry (network clients already report into it); the /metrics server
 // only starts when metricsAddr is set.
-func setupTelemetry(tr *marlperf.Trainer, reg *telemetry.Registry, metricsAddr, runlogPath string, info telemetryInfo) (*telemetryState, error) {
+func setupTelemetry(tr *marlperf.Trainer, reg *telemetry.Registry, metricsAddr, runlogPath string, tracer *trace.Tracer, info telemetryInfo) (*telemetryState, error) {
 	tel := &telemetryState{}
 	if metricsAddr != "" {
 		tel.registry = reg
@@ -722,10 +772,14 @@ func setupTelemetry(tr *marlperf.Trainer, reg *telemetry.Registry, metricsAddr, 
 		tel.registry.SetHelp("marl_run_info", "Constant 1, labelled with the run's workload identity.")
 		tel.registry.Gauge("marl_run_info",
 			"algo", info.algo, "env", info.env, "sampler", info.sampler).Set(1)
-		srv, err := telemetry.StartServer(metricsAddr, telemetry.ServerConfig{
+		srvCfg := telemetry.ServerConfig{
 			Registry: tel.registry,
 			Profilez: tel.profSnap,
-		})
+		}
+		if tracer != nil {
+			srvCfg.Tracez = tracer.Handler()
+		}
+		srv, err := telemetry.StartServer(metricsAddr, srvCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -810,6 +864,30 @@ func (tel *telemetryState) close() {
 	if tel.server != nil {
 		tel.server.Close()
 	}
+}
+
+// writeProfileJSON dumps the final phase profile in the same shape /profilez
+// serves, so marl-trace can reconcile span sums against it offline.
+func writeProfileJSON(tr *marlperf.Trainer, path string) error {
+	data, err := json.Marshal(tr.Profile())
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTraceJSON dumps the span ring as Chrome trace JSON, the same document
+// /tracez serves.
+func writeTraceJSON(tracer *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeBareCheckpoint(tr *marlperf.Trainer, path string) error {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"marlperf/internal/profiler"
+	"marlperf/internal/trace"
 )
 
 // UpdateEvent is the run-event record emitted once per completed
@@ -64,6 +65,18 @@ func (t *Trainer) SetUpdateListener(fn func(UpdateEvent)) {
 		t.prevPhaseDur[int(p)] = t.prof.Duration(p)
 	}
 }
+
+// SetTracer attaches a span tracer to the update stage. Each sampled
+// update opens a root span whose trace ID derives deterministically from
+// (Config.Seed, update index) and publishes it as the tracer's active
+// context, which the experience client and policy publisher pick up to
+// stitch the cross-process critical path. A nil tracer (the default)
+// keeps every instrumentation point on its zero-allocation disabled
+// path. Call before training.
+func (t *Trainer) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// Tracer returns the attached span tracer, or nil.
+func (t *Trainer) Tracer() *trace.Tracer { return t.tracer }
 
 // buildUpdateEvent snapshots the run state and the per-phase wall time
 // accumulated since the previous event.

@@ -11,6 +11,7 @@ import (
 	"marlperf/internal/profiler"
 	"marlperf/internal/replay"
 	"marlperf/internal/tensor"
+	"marlperf/internal/trace"
 )
 
 // Trainer runs the CTDE training loop of Figure 1: per-step action
@@ -68,6 +69,7 @@ type Trainer struct {
 	phaseObs       profiler.Observer
 	updateListener func(UpdateEvent)
 	prevPhaseDur   []time.Duration // per-phase totals at the last emitted event
+	tracer         *trace.Tracer   // optional span tracer; nil behaves as disabled
 
 	// Joint-space layout: column offsets of each agent's observation and
 	// action block in the critic input [obs_1..obs_N, act_1..act_N].
@@ -487,6 +489,21 @@ func (t *Trainer) UpdateAllTrainers() {
 	}
 	t.updateCount++
 
+	// Open the per-update root span and publish its context before the
+	// seed pre-draw, so every sample RPC this update issues (including
+	// prefetched ones) joins the trace. Unsampled updates clear the
+	// context so their RPCs do not attach to a stale root. The trace ID
+	// is a pure function of (seed, update index): the same seeded run
+	// traces to the same IDs on every machine.
+	var updSpan trace.Span
+	if t.tracer.Sampled(uint64(t.updateCount)) {
+		tid := trace.DeriveTraceID(uint64(t.cfg.Seed), trace.KindUpdate, uint64(t.updateCount))
+		updSpan = t.tracer.StartTrace(tid, "update")
+		t.tracer.SetActive(updSpan.Context())
+	} else if t.tracer.Enabled() {
+		t.tracer.ClearActive()
+	}
+
 	delayed := t.cfg.Algorithm == MATD3 && t.updateCount%t.cfg.PolicyDelay != 0
 	workers := t.updateWorkers
 	if workers > t.n {
@@ -567,11 +584,20 @@ func (t *Trainer) UpdateAllTrainers() {
 
 	if !delayed {
 		t.prof.Start(profiler.PhaseQPLoss)
+		// Span name matches the profiler phase this block accumulates
+		// into, so per-name span sums reconcile with /profilez totals.
+		sp := t.tracer.StartSpan(updSpan.Context(), "q-loss-p-loss")
 		for _, ag := range t.agents {
 			ag.softUpdateTargets(t.cfg.Tau)
 		}
+		sp.EndArg("soft-updates", int64(t.n))
 		t.prof.Stop(profiler.PhaseQPLoss)
 	}
+
+	// The root context stays active past End: the policy publisher reads
+	// it from its own goroutine after this update returns, attributing
+	// the publish RPC to the update that produced the weights.
+	updSpan.EndArg("update", int64(t.updateCount))
 
 	if t.updateListener != nil {
 		t.updateListener(t.buildUpdateEvent())
@@ -590,8 +616,14 @@ func (t *Trainer) UpdateAllTrainers() {
 //     reads; priority writes are parked in pendingIdx/pendingTD[i] and
 //     applied after the join.
 func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
+	// Phase spans parent on the per-update root (zero when this update is
+	// unsampled, making every span below a no-op). They sit inside the
+	// profiler Start/Stop windows so span sums stay ≤ profiler totals.
+	parent := t.tracer.Active()
+
 	// ---- Mini-batch sampling phase ----
 	s.prof.Start(profiler.PhaseSampling)
+	sampleSpan := t.tracer.StartSpan(parent, "mini-batch-sampling")
 	if t.expSource != nil {
 		// Experience-service path: one seed per mini-batch from agent i's
 		// stream; the source (local store or remote service) derives the
@@ -602,6 +634,7 @@ func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
 		seed := t.updSeeds[i]
 		if _, err := t.expSource.SampleBatch(t.cfg.BatchSize, seed, s.batches); err != nil {
 			t.setExpErr(fmt.Errorf("core: agent %d mini-batch: %w", i, err))
+			sampleSpan.EndArg("agent", int64(i))
 			s.prof.Stop(profiler.PhaseSampling)
 			return
 		}
@@ -613,15 +646,19 @@ func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
 			t.buf.GatherAll(s.sample.Indices, s.batches)
 		}
 	}
+	sampleSpan.EndArg("agent", int64(i))
 	s.prof.Stop(profiler.PhaseSampling)
 
 	// ---- Target-Q calculation phase ----
 	s.prof.Start(profiler.PhaseTargetQ)
+	tqSpan := t.tracer.StartSpan(parent, "target-q")
 	t.computeTargets(s, i)
+	tqSpan.EndArg("agent", int64(i))
 	s.prof.Stop(profiler.PhaseTargetQ)
 
 	// ---- Q-loss / P-loss phase ----
 	s.prof.Start(profiler.PhaseQPLoss)
+	qpSpan := t.tracer.StartSpan(parent, "q-loss-p-loss")
 	weights := s.sample.Weights
 	if len(weights) == 0 {
 		weights = t.onesW
@@ -630,6 +667,7 @@ func (t *Trainer) updateAgent(s *updateScratch, i int, delayed bool) {
 	if !delayed {
 		t.updateActor(s, i)
 	}
+	qpSpan.EndArg("agent", int64(i))
 	s.prof.Stop(profiler.PhaseQPLoss)
 
 	if t.prioritized {

@@ -13,6 +13,7 @@ import (
 	"marlperf/internal/netretry"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // ClientOptions tune transport behaviour. Retry, backoff and circuit
@@ -59,13 +60,19 @@ type ClientOptions struct {
 	// idle conns per host, which silently serializes a wider worker pool.
 	// 0 or 1 means a single persistent connection.
 	Conns int
+	// Tracer, when set and enabled, emits a client span per sample/append
+	// RPC and propagates the tracer's active context to the server in the
+	// X-Marl-Trace header. Trace context never touches the wire frames
+	// themselves, so traced and untraced requests are byte-identical.
+	Tracer *trace.Tracer
 }
 
 // Client talks to an experience server. Requests may be issued from many
 // goroutines at once; with Conns > 1 they ride separate persistent
 // connections instead of queueing behind each other.
 type Client struct {
-	core *netretry.Client
+	core   *netretry.Client
+	tracer *trace.Tracer
 }
 
 // NewClient targets baseURL (e.g. "http://127.0.0.1:9300" or a bare
@@ -90,7 +97,7 @@ func NewClient(baseURL string, opts ClientOptions) *Client {
 		Registry:         opts.Registry,
 		Transport:        opts.Transport,
 	})
-	return &Client{core: core}
+	return &Client{core: core, tracer: opts.Tracer}
 }
 
 // StripedTransport builds an http.Transport keeping conns warm sockets to
@@ -129,24 +136,26 @@ func (e *StatusError) Error() string {
 // circuit breaker is open — the spool path uses it to shed load off a
 // dead server instead of stalling the actor.
 func (c *Client) do(method, path string, contentType string, body []byte) ([]byte, error) {
-	return c.doScratch(method, path, contentType, body, false, nil)
+	return c.doScratch(method, path, contentType, body, false, nil, nil)
 }
 
-func (c *Client) doMode(method, path string, contentType string, body []byte, failFast bool) ([]byte, error) {
-	return c.doScratch(method, path, contentType, body, failFast, nil)
+func (c *Client) doMode(method, path string, contentType string, body []byte, failFast bool, hdr http.Header) ([]byte, error) {
+	return c.doScratch(method, path, contentType, body, failFast, nil, hdr)
 }
 
 // doScratch is do with a recycled response buffer: when scratch is non-nil
 // the reply body is read into it (netretry grows it at most once) and the
 // returned slice aliases it. The sample path threads pooled multi-megabyte
 // buffers through here so steady-state sampling allocates nothing per
-// request.
-func (c *Client) doScratch(method, path string, contentType string, body []byte, failFast bool, scratch []byte) ([]byte, error) {
+// request. hdr carries extra request headers (trace propagation); nil adds
+// none.
+func (c *Client) doScratch(method, path string, contentType string, body []byte, failFast bool, scratch []byte, hdr http.Header) ([]byte, error) {
 	resp, err := c.core.Do(context.Background(), netretry.Request{
 		Method:      method,
 		Path:        path,
 		ContentType: contentType,
 		Body:        body,
+		Header:      hdr,
 		FailFast:    failFast,
 		Scratch:     scratch,
 	})
@@ -262,10 +271,24 @@ func (s *RemoteSource) fetch(n int, seed int64, sc *clientScratch) error {
 	if want := sampleReplySize(n, stride); cap(sc.body) < want {
 		sc.body = make([]byte, want)
 	}
-	data, err := s.c.doScratch(http.MethodPost, PathSample, "application/octet-stream", req, false, sc.body[:cap(sc.body)])
+	// One client span per sample RPC, joined to the tracer's active
+	// context (the learner's per-update root). Prefetched fetches run on
+	// background goroutines but read the same context the pre-draw
+	// published, so they attribute to the update that consumes them.
+	var sp trace.Span
+	var hdr http.Header
+	if tr := s.c.tracer; tr.Enabled() {
+		if parent := tr.Active(); parent.Valid() {
+			sp = tr.StartSpan(parent, "sample-rpc")
+			hdr = http.Header{trace.HeaderName: []string{trace.FormatHeader(sp.Context())}}
+		}
+	}
+	data, err := s.c.doScratch(http.MethodPost, PathSample, "application/octet-stream", req, false, sc.body[:cap(sc.body)], hdr)
 	if err != nil {
+		sp.EndArg("error", 1)
 		return err
 	}
+	sp.EndArg("rows", int64(n))
 	if cap(data) > cap(sc.body) {
 		sc.body = data // keep the grown buffer for next time
 	}
@@ -416,12 +439,32 @@ func (s *RemoteSink) Add(obs, act [][]float64, rew []float64, nextObs [][]float6
 	return nil
 }
 
-// doAppend ships one encoded append frame and validates the ack.
+// doAppend ships one encoded append frame and validates the ack. When
+// tracing, the RPC gets a span: joined to the tracer's active context
+// when one is set (the rollout engine's step root, stitching actor
+// rollout → replayd ingest into one trace), otherwise rooted under a
+// deterministic (actorID, batchSeq)-derived trace ID — which also covers
+// spool-drain replays.
 func (s *RemoteSink) doAppend(frame []byte, failFast bool) (appendReply, error) {
-	data, err := s.c.doMode(http.MethodPost, PathAppend, "application/octet-stream", frame, failFast)
+	var sp trace.Span
+	var hdr http.Header
+	if tr := s.c.tracer; tr.Enabled() {
+		if parent := tr.Active(); parent.Valid() {
+			sp = tr.StartSpan(parent, "append-rpc")
+		} else {
+			tid := trace.DeriveTraceID(trace.HashID(s.actorID), trace.KindAppend, s.batchSeq)
+			sp = tr.StartTrace(tid, "append-rpc")
+		}
+		if sp.Valid() {
+			hdr = http.Header{trace.HeaderName: []string{trace.FormatHeader(sp.Context())}}
+		}
+	}
+	data, err := s.c.doMode(http.MethodPost, PathAppend, "application/octet-stream", frame, failFast, hdr)
 	if err != nil {
+		sp.EndArg("error", 1)
 		return appendReply{}, err
 	}
+	sp.EndArg("seq", int64(s.batchSeq))
 	var reply appendReply
 	if err := json.Unmarshal(data, &reply); err != nil {
 		return appendReply{}, fmt.Errorf("expserve: decoding append ack: %w", err)

@@ -17,6 +17,7 @@ import (
 	"marlperf/internal/f64le"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // statser is implemented by providers that expose occupancy counters
@@ -50,11 +51,21 @@ type ServerConfig struct {
 	// the surviving prefix is never doubled). Meaningful with a durable
 	// provider; empty keeps the cursor in memory only.
 	DedupLogPath string
+	// Tracer, when set and enabled, records a server span per append and
+	// sample request that arrives with an X-Marl-Trace header, joining
+	// the client's trace. Nil or disabled costs one atomic load per
+	// request.
+	Tracer *trace.Tracer
 }
 
 // ingestJob is one queued append batch; done carries the synchronous ack.
+// enq (set at handler enqueue time) feeds the append→sampleable latency
+// histogram: the ack only returns once the rows are flushed and visible
+// to samplers, so ack-time minus enq is exactly how long new experience
+// waited to become sampleable.
 type ingestJob struct {
 	batch appendBatch
+	enq   time.Time
 	done  chan ingestResult
 }
 
@@ -109,6 +120,9 @@ type Server struct {
 	sampleBytes    *telemetry.Counter
 	sampleErrors   *telemetry.Counter
 	sampleSeconds  *telemetry.Histogram
+	// End-to-end lag metrics.
+	sampleAgeRows *telemetry.Histogram // per sampled row: store rows − row index
+	appendVisible *telemetry.Histogram // append arrival → rows sampleable
 
 	// samplePool recycles per-request sample scratch (index slice + response
 	// frame buffer) across requests. Response frames for a mid-size workload
@@ -146,6 +160,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	reg.SetHelp("marl_exp_ingest_rows_total", "Transition rows ingested into the experience store.")
 	reg.SetHelp("marl_exp_sample_requests_total", "Sample requests served by the experience store.")
 	reg.SetHelp("marl_exp_sample_bytes_total", "Sample response bytes written to the wire.")
+	reg.SetHelp("marl_exp_sample_age_rows", "Age of each sampled row, in rows appended since it (store row count minus sampled index).")
+	reg.SetHelp("marl_exp_append_visible_seconds", "Latency from append arrival to the batch's rows being flushed and sampleable.")
 	s := &Server{
 		cfg:     cfg,
 		layout:  layout,
@@ -165,6 +181,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		sampleBytes:    reg.Counter("marl_exp_sample_bytes_total"),
 		sampleErrors:   reg.Counter("marl_exp_sample_errors_total"),
 		sampleSeconds:  reg.Histogram("marl_exp_sample_seconds", nil),
+		sampleAgeRows:  reg.Histogram("marl_exp_sample_age_rows", sampleAgeBuckets()),
+		appendVisible:  reg.Histogram("marl_exp_append_visible_seconds", nil),
 		storeRows:      reg.Gauge("marl_exp_store_rows"),
 		storeSegments:  reg.Gauge("marl_exp_store_segments"),
 	}
@@ -377,6 +395,26 @@ func (s *Server) compactDedupLog() error {
 	return nil
 }
 
+// sampleAgeBuckets spans row ages from a warm small buffer (hundreds of
+// rows) to a 1M+ transition window, roughly ×4 per bucket.
+func sampleAgeBuckets() []float64 {
+	return []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// requestSpan opens a server span joined to the trace context the
+// request carries, or an inert span when tracing is off or no valid
+// X-Marl-Trace header arrived.
+func (s *Server) requestSpan(r *http.Request, name string) trace.Span {
+	if !s.cfg.Tracer.Enabled() {
+		return trace.Span{}
+	}
+	ctx, ok := trace.ParseHeader(r.Header.Get(trace.HeaderName))
+	if !ok {
+		return trace.Span{}
+	}
+	return s.cfg.Tracer.StartSpan(ctx, name)
+}
+
 // Handler returns the service mux, for mounting alongside other endpoints
 // (marl-replayd serves it together with the telemetry /metrics handler).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -408,13 +446,13 @@ func (s *Server) ingestLoop() {
 	for {
 		select {
 		case job := <-s.queue:
-			job.done <- s.applyBatch(job.batch)
+			job.done <- s.applyBatch(job.batch, job.enq)
 		case <-s.stop:
 			// Drain anything already queued, then exit.
 			for {
 				select {
 				case job := <-s.queue:
-					job.done <- s.applyBatch(job.batch)
+					job.done <- s.applyBatch(job.batch, job.enq)
 				default:
 					return
 				}
@@ -423,7 +461,7 @@ func (s *Server) ingestLoop() {
 	}
 }
 
-func (s *Server) applyBatch(b appendBatch) ingestResult {
+func (s *Server) applyBatch(b appendBatch, enq time.Time) ingestResult {
 	start := time.Now()
 	s.provMu.Lock()
 	defer s.provMu.Unlock()
@@ -464,6 +502,9 @@ func (s *Server) applyBatch(b appendBatch) ingestResult {
 	s.ingestBatches.Inc()
 	s.ingestRows.Add(uint64(b.N - skip))
 	s.appendSeconds.Observe(time.Since(start).Seconds())
+	if !enq.IsZero() {
+		s.appendVisible.Observe(time.Since(enq).Seconds())
+	}
 	rows := s.cfg.Provider.RowCount()
 	s.updateGauges(rows)
 	var total uint64
@@ -499,20 +540,27 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	job := ingestJob{batch: batch, done: make(chan ingestResult, 1)}
+	// The server span covers queue wait + apply + flush — the full
+	// "experience becomes sampleable" window the client's append-rpc span
+	// brackets from the other side of the wire.
+	sp := s.requestSpan(r, "ingest")
+	job := ingestJob{batch: batch, enq: time.Now(), done: make(chan ingestResult, 1)}
 	select {
 	case s.queue <- job:
 	default:
 		s.ingestRejected.Inc()
+		sp.EndArg("rejected", 1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
 	res := <-job.done
 	if res.err != nil {
+		sp.EndArg("error", 1)
 		http.Error(w, res.err.Error(), http.StatusInternalServerError)
 		return
 	}
+	sp.EndArg("rows", int64(batch.N))
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(appendReply{Total: res.total, Rows: res.rows, Dup: res.dup})
 }
@@ -574,6 +622,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	sp := s.requestSpan(r, "sample")
 	s.sampleRequests.Inc()
 	stride := s.layout.Stride()
 	total := sampleReplySize(req.N, stride)
@@ -593,9 +642,10 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	buf := sc.buf[:total]
 
 	s.provMu.RLock()
+	rowCount := s.cfg.Provider.RowCount()
 	enc, fast := s.cfg.Provider.(leGatherer)
 	if fast {
-		err = req.Plan.FillIndices(idx, s.cfg.Provider.RowCount(), req.Seed)
+		err = req.Plan.FillIndices(idx, rowCount, req.Seed)
 		if err == nil {
 			enc.GatherEncodeLE(idx, buf[sampleReplyHdr:])
 		}
@@ -613,15 +663,24 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		// An empty/underfilled store is the learner polling before warmup,
 		// not a server fault.
 		s.sampleErrors.Inc()
+		sp.EndArg("error", 1)
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
 	putSampleReplyHeader(buf, req.N, stride)
 	putSampleReplyIndex(buf, req.N, stride, idx)
 
+	// Experience age per sampled row, in rows appended since it: how far
+	// behind the head of the stream training data actually is — the lag
+	// no throughput aggregate can express.
+	for _, ix := range idx {
+		s.sampleAgeRows.Observe(float64(rowCount - ix))
+	}
+
 	s.sampleRows.Add(uint64(req.N))
 	s.sampleBytes.Add(uint64(total))
 	s.sampleSeconds.Observe(time.Since(start).Seconds())
+	sp.EndArg("rows", int64(req.N))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(total))
 	_, _ = w.Write(buf)

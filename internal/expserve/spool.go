@@ -82,7 +82,7 @@ func (s *RemoteSink) EnableSpool(opts SpoolOptions) error {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	reg.SetHelp("marl_spool_depth", "Experience batches waiting in the local spool.")
+	reg.SetHelp("marl_spool_depth_batches", "Experience batches waiting in the local spool.")
 	reg.SetHelp("marl_spool_bytes", "Bytes of experience waiting in the local spool.")
 	sp := &spool{
 		dir:            opts.Dir,
@@ -91,7 +91,7 @@ func (s *RemoteSink) EnableSpool(opts SpoolOptions) error {
 		spooledRows:    reg.Counter("marl_spool_rows_total"),
 		drainedBatches: reg.Counter("marl_spool_drained_batches_total"),
 		drainedRows:    reg.Counter("marl_spool_drained_rows_total"),
-		depthG:         reg.Gauge("marl_spool_depth"),
+		depthG:         reg.Gauge("marl_spool_depth_batches"),
 		bytesG:         reg.Gauge("marl_spool_bytes"),
 	}
 

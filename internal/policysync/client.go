@@ -12,6 +12,7 @@ import (
 	"marlperf/internal/netretry"
 	"marlperf/internal/nn"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // ClientOptions tune transport behaviour, mirroring expserve.ClientOptions.
@@ -49,12 +50,18 @@ type ClientOptions struct {
 	Registry *telemetry.Registry
 	// Transport overrides the HTTP transport (fault injectors hook here).
 	Transport http.RoundTripper
+	// Tracer, when set and enabled, emits a client span per publish
+	// (joined to the tracer's active context — the learner's per-update
+	// root) and per fetch that lands a traced snapshot, and propagates
+	// context via the X-Marl-Trace request/response headers.
+	Tracer *trace.Tracer
 }
 
 // Client talks to a policy distribution server. Safe for sequential use;
 // use one per goroutine for concurrency.
 type Client struct {
-	core *netretry.Client
+	core   *netretry.Client
+	tracer *trace.Tracer
 
 	// sleep is the backoff delay function; tests may replace it.
 	sleep func(time.Duration)
@@ -66,7 +73,7 @@ func NewClient(baseURL string, opts ClientOptions) *Client {
 	if opts.Edge == "" {
 		opts.Edge = "policy"
 	}
-	c := &Client{sleep: time.Sleep}
+	c := &Client{sleep: time.Sleep, tracer: opts.Tracer}
 	c.core = netretry.New(baseURL, netretry.Options{
 		Timeout:          opts.Timeout,
 		Attempts:         opts.Attempts,
@@ -108,19 +115,34 @@ func (c *Client) doResp(ctx context.Context, method, path, contentType string, b
 }
 
 // Publish ships one encoded snapshot frame and returns the serving version
-// the store assigned to it.
+// the store assigned to it. When the tracer has an active context (the
+// learner's per-update root span — the publisher goroutine reads it after
+// the update that produced these weights), the RPC gets a child span and
+// the context rides the X-Marl-Trace header to the server.
 func (c *Client) Publish(frame []byte) (uint64, error) {
-	status, _, data, err := c.doResp(context.Background(), http.MethodPost, PathPolicy, "application/octet-stream", frame, 0, nil)
+	var sp trace.Span
+	var hdr http.Header
+	if tr := c.tracer; tr.Enabled() {
+		if parent := tr.Active(); parent.Valid() {
+			sp = tr.StartSpan(parent, "policy-publish")
+			hdr = http.Header{trace.HeaderName: []string{trace.FormatHeader(sp.Context())}}
+		}
+	}
+	status, _, data, err := c.doResp(context.Background(), http.MethodPost, PathPolicy, "application/octet-stream", frame, 0, hdr)
 	if err != nil {
+		sp.EndArg("error", 1)
 		return 0, err
 	}
 	if status != http.StatusOK {
+		sp.EndArg("error", 1)
 		return 0, fmt.Errorf("policysync: publish: server answered %d: %s", status, strings.TrimSpace(string(data)))
 	}
 	var reply publishReply
 	if err := json.Unmarshal(data, &reply); err != nil {
+		sp.EndArg("error", 1)
 		return 0, fmt.Errorf("policysync: decoding publish ack: %w", err)
 	}
+	sp.EndArg("version", int64(reply.Version))
 	return reply.Version, nil
 }
 
@@ -150,6 +172,7 @@ func (c *Client) Fetch(ctx context.Context, after uint64, wait time.Duration) (*
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
+	start := time.Now()
 	status, hdr, data, err := c.doResp(ctx, http.MethodGet, path, "", nil, wait, nil)
 	if err != nil {
 		return nil, err
@@ -162,6 +185,19 @@ func (c *Client) Fetch(ctx context.Context, after uint64, wait time.Duration) (*
 		}
 		if v, ok := etagVersion(hdr.Get("ETag")); ok {
 			snap.Version = v
+		}
+		// A traced publish relays its context in the response header. The
+		// fetch span is recorded after the fact (its parent was unknown
+		// until the response landed); its duration includes the long-poll
+		// hold — the true distribution latency from publish to this
+		// subscriber. The snapshot carries the span's position so the
+		// caller's install joins the same trace.
+		if pctx, ok := trace.ParseHeader(hdr.Get(trace.HeaderName)); ok {
+			snap.TraceCtx = pctx
+			if sp := c.tracer.StartSpanAt(pctx, "policy-fetch", start); sp.Valid() {
+				snap.TraceCtx = sp.Context()
+				sp.EndArg("version", int64(snap.Version))
+			}
 		}
 		return snap, nil
 	case http.StatusNotModified, http.StatusNotFound:

@@ -34,6 +34,7 @@ import (
 	"hash/crc32"
 
 	"marlperf/internal/nn"
+	"marlperf/internal/trace"
 )
 
 // Endpoint paths served by Server and used by Client.
@@ -60,6 +61,12 @@ type Snapshot struct {
 	Version uint64 // store-assigned, monotonic from 1 (0: never served)
 	Updates uint64 // learner update-stage count at publish time
 	Agents  []*nn.Network
+	// TraceCtx is the trace position this snapshot's delivery descends
+	// from (the publisher's span, relayed by the server in the
+	// X-Marl-Trace response header). Transport metadata only — it is
+	// never part of the encoded frame, so traced and untraced snapshots
+	// are byte-identical. Zero when the publish was not traced.
+	TraceCtx trace.Context
 }
 
 // EncodeSnapshot frames the per-agent actor networks for publication,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // ServerConfig wires a policy distribution server.
@@ -23,6 +24,12 @@ type ServerConfig struct {
 	MaxFrameBytes int64
 	// Registry receives service metrics; nil creates a private registry.
 	Registry *telemetry.Registry
+	// Tracer, when set and enabled, records a server span per traced
+	// publish and per fetch that serves a traced version. Independent of
+	// the tracer, the publisher's trace context is always relayed to
+	// fetchers via the X-Marl-Trace response header, so actors can join
+	// the learner's trace even when policyd itself is not tracing.
+	Tracer *trace.Tracer
 }
 
 // Server exposes a Store over HTTP:
@@ -127,6 +134,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.fetches.Inc()
+	start := time.Now()
 	version, updates, frame := s.cfg.Store.Wait(after, wait)
 	if version == 0 {
 		http.Error(w, "no policy published yet", http.StatusNotFound)
@@ -139,6 +147,16 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		s.notModded.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
+	}
+	// Relay the publish's trace position so the fetcher's install joins
+	// the publisher's trace. Guarded on the version match: a publish that
+	// raced in after Wait returned must not lend its context to this
+	// older frame.
+	if pv, pctx := s.cfg.Store.PublishContext(); pv == version && pctx.Valid() {
+		w.Header().Set(trace.HeaderName, trace.FormatHeader(pctx))
+		if sp := s.cfg.Tracer.StartSpanAt(pctx, "fetch-serve", start); sp.Valid() {
+			defer func() { sp.EndArg("version", int64(version)) }()
+		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
@@ -156,11 +174,22 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("frame exceeds %d bytes", s.cfg.MaxFrameBytes), http.StatusRequestEntityTooLarge)
 		return
 	}
-	version, err := s.cfg.Store.Publish(body)
+	// A traced publish hands its context down: the server span (when this
+	// process traces) becomes the stored position, otherwise the
+	// publisher's own context is stored untouched — either way fetchers
+	// can join the trace.
+	pctx, _ := trace.ParseHeader(r.Header.Get(trace.HeaderName))
+	sp := s.cfg.Tracer.StartSpan(pctx, "publish")
+	if sp.Valid() {
+		pctx = sp.Context()
+	}
+	version, err := s.cfg.Store.PublishCtx(body, pctx)
 	if err != nil {
+		sp.EndArg("error", 1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	sp.EndArg("version", int64(version))
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(publishReply{Version: version})
 }

@@ -7,6 +7,7 @@ import (
 
 	"marlperf/internal/nn"
 	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
 )
 
 // Store holds the newest published policy frame under a monotonic serving
@@ -21,6 +22,7 @@ type Store struct {
 	version uint64
 	updates uint64
 	frame   []byte
+	pubCtx  trace.Context // trace position of the newest publish (zero: untraced)
 	notify  chan struct{} // closed and replaced on every publish
 	closed  bool          // set by Close; parked Waits return immediately
 
@@ -57,12 +59,20 @@ func NewStore(reg *telemetry.Registry) *Store {
 // Publish validates frame and, if intact, makes it the newest version.
 // The frame is retained by reference; callers must not mutate it afterwards.
 func (s *Store) Publish(frame []byte) (uint64, error) {
+	return s.PublishCtx(frame, trace.Context{})
+}
+
+// PublishCtx is Publish carrying the publisher's trace position, recorded
+// alongside the version so fetch responses can relay it to subscribers —
+// the link that stitches learner update → policyd publish → actor
+// hot-swap into one trace. The context never enters the frame bytes.
+func (s *Store) PublishCtx(frame []byte, tctx trace.Context) (uint64, error) {
 	snap, err := DecodeSnapshot(frame)
 	if err != nil {
 		s.rejected.Inc()
 		return 0, err
 	}
-	return s.install(frame, snap.Updates), nil
+	return s.install(frame, snap.Updates, tctx), nil
 }
 
 // PublishNetworks encodes and publishes the per-agent actor networks; the
@@ -73,15 +83,16 @@ func (s *Store) PublishNetworks(updates uint64, agents []*nn.Network) (uint64, e
 		s.rejected.Inc()
 		return 0, err
 	}
-	return s.install(frame, updates), nil
+	return s.install(frame, updates, trace.Context{}), nil
 }
 
-func (s *Store) install(frame []byte, updates uint64) uint64 {
+func (s *Store) install(frame []byte, updates uint64, tctx trace.Context) uint64 {
 	s.mu.Lock()
 	s.version++
 	version := s.version
 	s.updates = updates
 	s.frame = frame
+	s.pubCtx = tctx
 	if !s.closed {
 		close(s.notify)
 		s.notify = make(chan struct{})
@@ -105,6 +116,16 @@ func (s *Store) Latest() (version, updates uint64, frame []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.version, s.updates, s.frame
+}
+
+// PublishContext returns the newest version and the trace position its
+// publish carried (zero Context when untraced). Callers pair it with the
+// version a concurrent Wait/Latest returned to avoid relaying a newer
+// publish's context for an older frame.
+func (s *Store) PublishContext() (uint64, trace.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version, s.pubCtx
 }
 
 // Wait blocks until a version newer than after exists or timeout elapses,

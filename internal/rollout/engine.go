@@ -24,6 +24,7 @@ import (
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
 	"marlperf/internal/tensor"
+	"marlperf/internal/trace"
 )
 
 // envStreamPrime spaces the per-env RNG streams derived from the run seed.
@@ -68,6 +69,12 @@ type Config struct {
 	// Registry, when non-nil, receives marl_rollout_* and marl_policy_*
 	// actor-side metrics.
 	Registry *telemetry.Registry
+	// Tracer, when set and enabled, opens a sampled root span per Step call
+	// (trace ID derived from Seed and the step index, so actor traces are
+	// reproducible across runs) with phase child spans, and sets the active
+	// context so the sink's append RPC joins the step's trace. Tracing draws
+	// no randomness and never touches trajectory bytes.
+	Tracer *trace.Tracer
 }
 
 // Engine steps B environments under one acting policy. It is not safe for
@@ -83,8 +90,9 @@ type Engine struct {
 	envs []mpe.Env
 	rngs []*rand.Rand
 
-	agents  []*nn.Network
-	version uint64
+	agents   []*nn.Network
+	version  uint64
+	knownVer uint64 // newest policy version seen (installed or not)
 
 	obs     [][][]float64 // [env][agent][obsDim]
 	epStep  []int
@@ -93,7 +101,9 @@ type Engine struct {
 	steps   uint64
 	eps     uint64
 
-	prof *profiler.Profile
+	prof      *profiler.Profile
+	tracer    *trace.Tracer
+	stepCalls uint64 // Step invocations (trace sampling index)
 
 	// Acting scratch.
 	obsMats   []*tensor.Matrix // per agent: B×obsDims[i]
@@ -108,6 +118,15 @@ type Engine struct {
 	installsC *telemetry.Counter
 	actingG   *telemetry.Gauge
 	staleG    *telemetry.Gauge
+	actLagH   *telemetry.Histogram
+}
+
+// actLagBuckets bounds the act-time version-lag histogram: how many policy
+// versions behind the newest-known one the engine was acting on, observed
+// once per Step call. Power-of-two-ish buckets because a healthy loop sits
+// at 0-1 and a stalled syncer grows geometrically.
+func actLagBuckets() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
 }
 
 // NewEngine validates cfg, constructs the B environments, seeds their RNG
@@ -136,17 +155,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:       cfg,
 		prof:      cfg.Prof,
+		tracer:    cfg.Tracer,
 		stepsC:    reg.Counter("marl_rollout_env_steps_total"),
 		episodesC: reg.Counter("marl_rollout_episodes_total"),
 		installsC: reg.Counter("marl_policy_installs_total"),
 		actingG:   reg.Gauge("marl_policy_acting_version"),
-		staleG:    reg.Gauge("marl_policy_staleness"),
+		staleG:    reg.Gauge("marl_policy_staleness_versions"),
+		actLagH:   reg.Histogram("marl_policy_act_lag_versions", actLagBuckets()),
 	}
 	if e.prof == nil {
 		e.prof = &profiler.Profile{}
 	}
 	reg.SetHelp("marl_rollout_env_steps_total", "Environment steps taken across all vectorized envs.")
-	reg.SetHelp("marl_policy_staleness", "Versions the acting policy lags the newest one this actor has seen.")
+	reg.SetHelp("marl_policy_staleness_versions", "Versions the acting policy lags the newest one this actor has seen.")
+	reg.SetHelp("marl_policy_act_lag_versions", "Per-Step histogram of how many versions behind the newest-known policy the engine acted.")
 
 	b := cfg.Envs
 	e.envs = make([]mpe.Env, b)
@@ -221,14 +243,29 @@ func (e *Engine) checkPolicy(agents []*nn.Network) error {
 // between Step calls — the engine is single-goroutine by contract, so the
 // swap can never tear a forward pass.
 func (e *Engine) Install(version uint64, agents []*nn.Network) error {
+	return e.InstallCtx(version, agents, trace.Context{})
+}
+
+// InstallCtx is Install carrying the trace position the snapshot's delivery
+// descended from (Snapshot.TraceCtx). A valid context records a
+// "policy-install" span parented on the fetch — the final hop of the
+// learner update → policyd publish → actor hot-swap chain. A zero context
+// records nothing.
+func (e *Engine) InstallCtx(version uint64, agents []*nn.Network, tctx trace.Context) error {
+	sp := e.tracer.StartSpan(tctx, "policy-install")
 	if err := e.checkPolicy(agents); err != nil {
+		sp.EndArg("error", 1)
 		return err
 	}
 	e.agents = agents
 	e.version = version
+	if version > e.knownVer {
+		e.knownVer = version
+	}
 	e.installsC.Inc()
 	e.actingG.Set(float64(version))
 	e.staleG.Set(0)
+	sp.EndArg("version", int64(version))
 	return nil
 }
 
@@ -236,6 +273,9 @@ func (e *Engine) Install(version uint64, agents []*nn.Network) error {
 // (installed or not), updating the staleness gauge. The actor loop calls it
 // on every sync check, so "how far behind am I acting" is always observable.
 func (e *Engine) NoteKnownVersion(latest uint64) {
+	if latest > e.knownVer {
+		e.knownVer = latest
+	}
 	if latest > e.version {
 		e.staleG.Set(float64(latest - e.version))
 	} else {
@@ -344,14 +384,40 @@ func (e *Engine) Step() (int, error) {
 	}
 	b := e.cfg.Envs
 
+	// Sampled steps open a deterministic root trace and park it as the
+	// active context so the sink's append RPC (which may fire from inside
+	// Sink.Add when a batch fills) joins this step's trace. Unsampled steps
+	// clear it so a stale context never leaks into a later flush.
+	e.stepCalls++
+	var stepSpan trace.Span
+	if e.tracer.Sampled(e.stepCalls) {
+		tid := trace.DeriveTraceID(uint64(e.cfg.Seed), trace.KindStep, e.stepCalls)
+		stepSpan = e.tracer.StartTrace(tid, "step")
+		e.tracer.SetActive(stepSpan.Context())
+	} else if e.tracer.Enabled() {
+		e.tracer.ClearActive()
+	}
+
+	// Act-time version lag: how far behind the newest-known policy this
+	// step's actions are drawn. Observed per Step call, not per env-step.
+	if lag := e.knownVer; lag > e.version {
+		e.actLagH.Observe(float64(lag - e.version))
+	} else {
+		e.actLagH.Observe(0)
+	}
+
 	e.prof.Start(profiler.PhaseActionSelection)
+	actSpan := e.tracer.StartSpan(stepSpan.Context(), "action-selection")
 	e.act()
+	actSpan.EndArg("envs", int64(b))
 	e.prof.Stop(profiler.PhaseActionSelection)
 
 	completed := 0
 	for env := 0; env < b; env++ {
 		e.prof.Start(profiler.PhaseEnvStep)
+		envSpan := e.tracer.StartSpan(stepSpan.Context(), "env-step")
 		nextObs, rewards := e.envs[env].Step(e.actionIdx[env])
+		envSpan.EndArg("env", int64(e.cfg.FirstEnvIndex+env))
 		e.prof.Stop(profiler.PhaseEnvStep)
 
 		e.epStep[env]++
@@ -372,7 +438,9 @@ func (e *Engine) Step() (int, error) {
 
 		if e.cfg.Sink != nil {
 			e.prof.Start(profiler.PhaseReplayAdd)
+			addSpan := e.tracer.StartSpan(stepSpan.Context(), "replay-add")
 			err := e.cfg.Sink.Add(e.obs[env], e.probs[env], rewards, nextObs, e.dones[env])
+			addSpan.EndArg("env", int64(e.cfg.FirstEnvIndex+env))
 			e.prof.Stop(profiler.PhaseReplayAdd)
 			if err != nil {
 				return completed, fmt.Errorf("rollout: env %d replay add: %w", e.cfg.FirstEnvIndex+env, err)
@@ -393,5 +461,9 @@ func (e *Engine) Step() (int, error) {
 	}
 	e.steps += uint64(b)
 	e.stepsC.Add(uint64(b))
+	// The active context is left set on purpose: a sink that buffers this
+	// step's transitions may flush them (append RPC) after Step returns,
+	// and the fallback root in the remote sink covers the unsampled case.
+	stepSpan.EndArg("steps", int64(e.steps))
 	return completed, nil
 }

@@ -38,12 +38,16 @@ type ServerConfig struct {
 	// Profilez backs /profilez; typically a JSONSnapshot refreshed by the
 	// training loop. Optional — nil serves 404.
 	Profilez *JSONSnapshot
+	// Tracez backs /tracez; typically (*trace.Tracer).Handler() serving
+	// the span ring as Chrome-trace JSON. Optional — nil serves 404.
+	Tracez http.Handler
 }
 
 // Server is the opt-in observability HTTP server. Endpoints:
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/profilez      latest profiler state as JSON (when configured)
+//	/tracez        span ring as Chrome-trace JSON (when configured)
 //	/healthz       liveness: 200 "ok"
 //	/debug/pprof/  net/http/pprof profiles (heap, goroutine, CPU, trace)
 type Server struct {
@@ -81,6 +85,13 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Tracez == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		cfg.Tracez.ServeHTTP(w, r)
 	})
 	// pprof registers on DefaultServeMux via its init; mount the handlers
 	// explicitly so this mux stays self-contained.

@@ -1,0 +1,117 @@
+// Chrome-trace ("Trace Event Format") export. The /tracez endpoint on
+// every process serves its span ring in this shape, chrome://tracing
+// and Perfetto open it directly, and cmd/marl-trace merges captures
+// from N processes by the trace/span IDs carried in each event's args.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// ChromeEvent is one entry of traceEvents. Span records map to ph "X"
+// (complete) events with microsecond ts/dur; one ph "M" metadata event
+// per process names the pid.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level JSON object.
+type ChromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// Args keys carrying the merge identity. IDs are 16-hex strings, not
+// JSON numbers: uint64 does not survive a float64 round-trip.
+const (
+	ArgTrace  = "trace"
+	ArgSpan   = "span"
+	ArgParent = "parent"
+	ArgProc   = "proc"
+)
+
+// ChromeTrace renders the current ring as a trace object.
+func (t *Tracer) ChromeTrace() ChromeTrace {
+	recs := t.Snapshot()
+	events := make([]ChromeEvent, 0, len(recs)+1)
+	events = append(events, ChromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  1,
+		Args: map[string]any{"name": t.Proc()},
+	})
+	for _, r := range recs {
+		events = append(events, recordEvent(r, 1))
+	}
+	return ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: events}
+}
+
+func recordEvent(r Record, pid int) ChromeEvent {
+	args := map[string]any{
+		ArgTrace:  FormatID(r.TraceID),
+		ArgSpan:   FormatID(r.SpanID),
+		ArgProc:   r.Proc,
+		ArgParent: FormatID(r.ParentID),
+	}
+	if r.ArgName != "" {
+		args[r.ArgName] = r.Arg
+	}
+	return ChromeEvent{
+		Name: r.Name,
+		Cat:  "marl",
+		Ph:   "X",
+		Ts:   float64(r.Start) / 1e3,
+		Dur:  float64(r.Dur) / 1e3,
+		Pid:  pid,
+		Tid:  1,
+		Args: args,
+	}
+}
+
+// WriteChrome writes the trace object as JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.ChromeTrace())
+}
+
+// ParseChrome decodes a trace object previously produced by
+// WriteChrome (or hand-merged by marl-trace).
+func ParseChrome(data []byte) (ChromeTrace, error) {
+	var ct ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return ChromeTrace{}, err
+	}
+	return ct, nil
+}
+
+// FormatID renders an ID the way event args carry it.
+func FormatID(v uint64) string {
+	var b [16]byte
+	putHex16(b[:], v)
+	return string(b[:])
+}
+
+// ParseID parses a 16-hex event-args ID.
+func ParseID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	return parseHex16(s)
+}
+
+// Handler serves the ring as Chrome-trace JSON — the /tracez endpoint.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChrome(w)
+	})
+}

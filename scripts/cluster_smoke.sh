@@ -9,9 +9,14 @@
 #   - the policy service served ≥ 2 versions;
 #   - the experience service ingested and sampled rows (the learner trained
 #     off service-fed replay);
+#   - the distributed traces stitch: /tracez captures from all five
+#     processes merge (via marl-trace) into ≥1 trace spanning ≥4 distinct
+#     processes, and the learner's phase-span sums reconcile with its
+#     /profilez totals within 5%;
 #   - no process tripped the race detector.
 #
-# Ports/dirs are overridable via REPLAY_PORT / POLICY_PORT / OUT.
+# Ports/dirs are overridable via REPLAY_PORT / POLICY_PORT / ACTOR0_METRICS_PORT /
+# ACTOR1_METRICS_PORT / OUT.
 set -euo pipefail
 
 # Re-exec as a process-group leader so the EXIT trap can take down every
@@ -25,6 +30,8 @@ cd "$(dirname "$0")/.."
 
 REPLAY_PORT=${REPLAY_PORT:-19300}
 POLICY_PORT=${POLICY_PORT:-19400}
+ACTOR0_METRICS_PORT=${ACTOR0_METRICS_PORT:-19500}
+ACTOR1_METRICS_PORT=${ACTOR1_METRICS_PORT:-19501}
 OUT=${OUT:-$(mktemp -d)}
 BIN="$OUT/bin"
 mkdir -p "$BIN"
@@ -35,6 +42,7 @@ go build -race -o "$BIN/marl-replayd" ./cmd/marl-replayd
 go build -race -o "$BIN/marl-policyd" ./cmd/marl-policyd
 go build -race -o "$BIN/marl-actor" ./cmd/marl-actor
 go build -race -o "$BIN/marl-train" ./cmd/marl-train
+go build -o "$BIN/marl-trace" ./cmd/marl-trace
 
 pids=()
 cleanup() {
@@ -58,9 +66,9 @@ wait_health() {
 }
 
 "$BIN/marl-replayd" -addr "127.0.0.1:$REPLAY_PORT" -dir "$OUT/replay" -env cn -agents 3 \
-  >"$OUT/replayd.log" 2>&1 &
+  -trace >"$OUT/replayd.log" 2>&1 &
 pids+=($!)
-"$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" >"$OUT/policyd.log" 2>&1 &
+"$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" -trace >"$OUT/policyd.log" 2>&1 &
 pids+=($!)
 wait_health "127.0.0.1:$REPLAY_PORT"
 wait_health "127.0.0.1:$POLICY_PORT"
@@ -69,19 +77,33 @@ wait_health "127.0.0.1:$POLICY_PORT"
 # indices, syncing every 5 engine steps; SIGTERMed once the learner is done.
 "$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
   -env cn -agents 3 -actor-id actor-0 -envs 4 -first-env 0 -sync-every 5 \
-  -episodes 0 -seed 7 -batch-rows 64 -policy-wait 60s >"$OUT/actor0.log" 2>&1 &
+  -episodes 0 -seed 7 -batch-rows 64 -policy-wait 60s \
+  -trace -trace-sample 8 -metrics-addr "127.0.0.1:$ACTOR0_METRICS_PORT" >"$OUT/actor0.log" 2>&1 &
 A0=$!
 pids+=("$A0")
 "$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
   -env cn -agents 3 -actor-id actor-1 -envs 4 -first-env 4 -sync-every 5 \
-  -episodes 0 -seed 8 -batch-rows 64 -policy-wait 60s >"$OUT/actor1.log" 2>&1 &
+  -episodes 0 -seed 8 -batch-rows 64 -policy-wait 60s \
+  -trace -trace-sample 8 -metrics-addr "127.0.0.1:$ACTOR1_METRICS_PORT" >"$OUT/actor1.log" 2>&1 &
 A1=$!
 pids+=("$A1")
 
 echo "running learner"
 "$BIN/marl-train" -replay-addr "127.0.0.1:$REPLAY_PORT" \
   -policy-publish-addr "127.0.0.1:$POLICY_PORT" -policy-publish-every 2 \
-  -env cn -agents 3 -episodes 40 -batch 64 -log-every 10 >"$OUT/learner.log" 2>&1
+  -env cn -agents 3 -episodes 40 -batch 64 -log-every 10 \
+  -trace -trace-sample 1 -trace-buf 262144 \
+  -trace-out "$OUT/learner-trace.json" -profile-json "$OUT/learner-profile.json" \
+  >"$OUT/learner.log" 2>&1
+
+# Capture the daemons' and actors' span rings while everything but the
+# learner is still up; the learner's own spans were written at its exit.
+for cap in "replayd:$REPLAY_PORT" "policyd:$POLICY_PORT" \
+  "actor0:$ACTOR0_METRICS_PORT" "actor1:$ACTOR1_METRICS_PORT"; do
+  name=${cap%%:*} port=${cap##*:}
+  curl -sf "http://127.0.0.1:$port/tracez" >"$OUT/$name-tracez.json" \
+    || { echo "FAIL: capturing /tracez from $name" >&2; exit 1; }
+done
 
 # Stop the actors; exit 3 (interrupted, flushed) and 0 are both clean.
 for pid in "$A0" "$A1"; do kill -TERM "$pid" 2>/dev/null || true; done
@@ -114,6 +136,19 @@ echo "$metrics" | grep '^marl_exp_ingest_rows_total' | awk '{exit !($2 > 0)}' \
   || fail "experience service ingested no rows"
 echo "$metrics" | grep '^marl_exp_sample_requests_total' | awk '{exit !($2 > 0)}' \
   || fail "learner never sampled from the experience service"
+
+# Merge the five captures into one Chrome trace and gate on the loop's
+# end-to-end observability: at least one trace must stitch across ≥4 of
+# the five processes (learner update → replayd sample → policyd publish →
+# actor hot-swap), and the learner's phase-span sums must agree with its
+# profiler totals within 5% (full-rate sampling makes that exact enough).
+echo "merging traces"
+"$BIN/marl-trace" -o "$OUT/merged-trace.json" -require-procs 4 \
+  -profilez "$OUT/learner-profile.json" -tolerance 0.05 \
+  "$OUT/learner-trace.json" "$OUT/replayd-tracez.json" "$OUT/policyd-tracez.json" \
+  "$OUT/actor0-tracez.json" "$OUT/actor1-tracez.json" \
+  | tee "$OUT/trace-report.txt" || fail "trace merge/gates (see $OUT/trace-report.txt)"
+[ -s "$OUT/merged-trace.json" ] || fail "merged trace JSON is empty"
 
 if grep -l 'WARNING: DATA RACE' "$OUT"/*.log 2>/dev/null; then
   fail "race detector fired (see logs above)"
