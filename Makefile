@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-workers bench-rollout bench-replay cluster-smoke chaos-smoke trace-smoke examples experiments-small experiments-full clean
+.PHONY: all build test vet race bench bench-workers bench-rollout bench-replay bench-serve cluster-smoke chaos-smoke trace-smoke serve-smoke examples experiments-small experiments-full clean
 
 all: build vet test
 
@@ -33,6 +33,12 @@ bench-rollout:
 bench-replay:
 	$(GO) test -run '^$$' -bench ExpServeSample -benchtime 200ms .
 
+# Serving sweep (per-request vs micro-batch × concurrency × window, plus a
+# canary cell); best-of-3 per cell to de-noise shared hosts; writes
+# BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchtime 30000x -count 3 .
+
 # Five-process full-loop smoke: replayd + policyd + two actors + learner,
 # race-instrumented, asserting ≥2 policy hot-swaps per actor.
 cluster-smoke:
@@ -50,6 +56,12 @@ trace-smoke:
 # experience loss and both daemons drain cleanly on SIGTERM.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# Four-process serving smoke: policyd + learner + marl-serve (25% canary) +
+# marl-loadgen; asserts readiness gating, zero load errors, traffic on both
+# canary arms, a clean SIGTERM drain, and a ≥4-process trace stitch.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -67,9 +67,9 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: Dense forward got width %d, want %d", x.Cols, d.W.Rows))
 	}
 	d.lastX = x
-	if d.out == nil || d.out.Rows != x.Rows {
-		d.out = tensor.New(x.Rows, d.W.Cols)
-	}
+	// Reshape reuses the output backing across varying batch sizes; the
+	// matmul overwrites every element, so stale contents are fine.
+	d.out = tensor.Reshape(d.out, x.Rows, d.W.Cols)
 	tensor.MatMulParallel(d.out, x, d.W)
 	d.out.AddRowVector(d.B.Data)
 	return d.out
@@ -93,9 +93,7 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	d.sumScratch = grad.SumRows(d.sumScratch)
 	tensor.AXPY(d.gradB.Data, 1, d.sumScratch)
 	// gradIn = grad·Wᵀ
-	if d.gradIn == nil || d.gradIn.Rows != grad.Rows {
-		d.gradIn = tensor.New(grad.Rows, d.W.Rows)
-	}
+	d.gradIn = tensor.Reshape(d.gradIn, grad.Rows, d.W.Rows)
 	tensor.MatMulTransBParallel(d.gradIn, grad, d.W)
 	return d.gradIn
 }
@@ -131,11 +129,11 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward computes max(x, 0), remembering the active mask.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	n := len(x.Data)
-	if r.out == nil || len(r.out.Data) != n {
-		r.out = tensor.New(x.Rows, x.Cols)
+	r.out = tensor.Reshape(r.out, x.Rows, x.Cols)
+	if cap(r.mask) < n {
 		r.mask = make([]bool, n)
 	}
-	r.out.Rows, r.out.Cols = x.Rows, x.Cols
+	r.mask = r.mask[:n]
 	for i, v := range x.Data {
 		if v > 0 {
 			r.out.Data[i] = v
@@ -153,10 +151,7 @@ func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if r.mask == nil || len(grad.Data) != len(r.mask) {
 		panic("nn: ReLU backward shape does not match forward")
 	}
-	if r.gradIn == nil || len(r.gradIn.Data) != len(grad.Data) {
-		r.gradIn = tensor.New(grad.Rows, grad.Cols)
-	}
-	r.gradIn.Rows, r.gradIn.Cols = grad.Rows, grad.Cols
+	r.gradIn = tensor.Reshape(r.gradIn, grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
 		if r.mask[i] {
 			r.gradIn.Data[i] = g

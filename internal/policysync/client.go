@@ -207,6 +207,42 @@ func (c *Client) Fetch(ctx context.Context, after uint64, wait time.Duration) (*
 	}
 }
 
+// FetchVersion asks for one exact retained version (the newest or the
+// previous publish — the server's two-deep window). It returns the decoded,
+// version-stamped snapshot, or (nil, nil) when the version is not retained.
+// The canary gateway uses this to backfill its stable arm after starting up
+// against a store that has already published twice.
+func (c *Client) FetchVersion(ctx context.Context, version uint64) (*Snapshot, error) {
+	start := time.Now()
+	status, hdr, data, err := c.doResp(ctx, http.MethodGet, fmt.Sprintf("%s?version=%d", PathPolicy, version), "", nil, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		snap.Version = version
+		if v, ok := etagVersion(hdr.Get("ETag")); ok {
+			snap.Version = v
+		}
+		if pctx, ok := trace.ParseHeader(hdr.Get(trace.HeaderName)); ok {
+			snap.TraceCtx = pctx
+			if sp := c.tracer.StartSpanAt(pctx, "policy-fetch", start); sp.Valid() {
+				snap.TraceCtx = sp.Context()
+				sp.EndArg("version", int64(snap.Version))
+			}
+		}
+		return snap, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("policysync: fetch version %d: server answered %d: %s", version, status, strings.TrimSpace(string(data)))
+	}
+}
+
 // Stats fetches the server's current version, learner update count, and
 // frame size.
 func (c *Client) Stats() (version, updates uint64, bytes int, err error) {

@@ -106,12 +106,11 @@ type Engine struct {
 	stepCalls uint64 // Step invocations (trace sampling index)
 
 	// Acting scratch.
-	obsMats   []*tensor.Matrix // per agent: B×obsDims[i]
-	logits    []*tensor.Matrix // per agent: B×actDim copy of the forward output
-	obsRow    *tensor.Matrix   // header rebound per (env, agent) in per-env mode
-	probs     [][][]float64    // [env][agent][actDim]
-	actionIdx [][]int          // [env][agent]
-	dones     [][]float64      // [env][agent]
+	core      *ActCore       // batched per-agent forwards (shared with internal/serve)
+	obsRow    *tensor.Matrix // header rebound per (env, agent) in per-env mode
+	probs     [][][]float64  // [env][agent][actDim]
+	actionIdx [][]int        // [env][agent]
+	dones     [][]float64    // [env][agent]
 
 	stepsC    *telemetry.Counter
 	episodesC *telemetry.Counter
@@ -190,12 +189,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 	e.epStep = make([]int, b)
 	e.epRew = make([]float64, b)
-	e.obsMats = make([]*tensor.Matrix, e.n)
-	e.logits = make([]*tensor.Matrix, e.n)
-	for i := 0; i < e.n; i++ {
-		e.obsMats[i] = tensor.New(b, e.obsDims[i])
-		e.logits[i] = tensor.New(b, e.actDim)
-	}
+	e.core = NewActCore(e.obsDims, e.actDim, b)
 	e.obsRow = tensor.New(1, 0)
 	e.probs = make([][][]float64, b)
 	e.actionIdx = make([][]int, b)
@@ -209,33 +203,6 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.dones[env] = make([]float64, e.n)
 	}
 	return e, nil
-}
-
-// checkPolicy verifies the networks' input/output widths against the envs.
-func (e *Engine) checkPolicy(agents []*nn.Network) error {
-	if len(agents) != e.n {
-		return fmt.Errorf("rollout: policy has %d agents, envs have %d", len(agents), e.n)
-	}
-	for i, net := range agents {
-		if net == nil || len(net.Layers) == 0 {
-			return fmt.Errorf("rollout: agent %d network is empty", i)
-		}
-		first, ok := net.Layers[0].(*nn.Dense)
-		if !ok {
-			return fmt.Errorf("rollout: agent %d network does not start with a dense layer", i)
-		}
-		if first.In() != e.obsDims[i] {
-			return fmt.Errorf("rollout: agent %d network wants %d-dim obs, env gives %d", i, first.In(), e.obsDims[i])
-		}
-		last, ok := net.Layers[len(net.Layers)-1].(*nn.Dense)
-		if !ok {
-			return fmt.Errorf("rollout: agent %d network does not end with a dense head", i)
-		}
-		if last.Out() != e.actDim {
-			return fmt.Errorf("rollout: agent %d network emits %d actions, env wants %d", i, last.Out(), e.actDim)
-		}
-	}
-	return nil
 }
 
 // Install hot-swaps the acting policy. version is the policysync serving
@@ -253,7 +220,7 @@ func (e *Engine) Install(version uint64, agents []*nn.Network) error {
 // records nothing.
 func (e *Engine) InstallCtx(version uint64, agents []*nn.Network, tctx trace.Context) error {
 	sp := e.tracer.StartSpan(tctx, "policy-install")
-	if err := e.checkPolicy(agents); err != nil {
+	if err := e.core.SetAgents(agents); err != nil {
 		sp.EndArg("error", 1)
 		return err
 	}
@@ -336,20 +303,16 @@ func (e *Engine) act() {
 		}
 		return
 	}
-	for i := 0; i < e.n; i++ {
-		m := e.obsMats[i]
-		w := e.obsDims[i]
-		for env := 0; env < b; env++ {
-			copy(m.Data[env*w:(env+1)*w], e.obs[env][i])
-		}
-		// Copy the logits out: Forward output is owned by the network's
-		// final layer, and nothing stops a caller installing one shared
-		// network for several agents.
-		e.logits[i].CopyFrom(e.agents[i].Forward(m))
-	}
+	e.core.Begin(b)
 	for env := 0; env < b; env++ {
 		for i := 0; i < e.n; i++ {
-			e.drawAction(env, i, e.logits[i].Row(env))
+			e.core.SetObs(env, i, e.obs[env][i])
+		}
+	}
+	e.core.Forward()
+	for env := 0; env < b; env++ {
+		for i := 0; i < e.n; i++ {
+			e.drawAction(env, i, e.core.Logits(i, env))
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary /act wire format, for clients that want the zero-parse path:
+//
+//	request  Content-Type: application/octet-stream
+//	         f64le observation values, all agents concatenated in agent
+//	         order — exactly sum(obsDims) values, no framing. The serving
+//	         shape is the frame: a length mismatch is a 400.
+//	reply    "MACT" magic, u64le version, u32le agent count, then one
+//	         u32le greedy action index per agent.
+//
+// The JSON path carries the same payloads as {"obs": [[...], ...]} and
+// {"version": N, "actions": [...]} for humans and scripts.
+
+// actReplyMagic frames a binary action reply.
+const actReplyMagic = "MACT"
+
+// EncodeObsFrame appends the observations as the binary request body.
+func EncodeObsFrame(dst []byte, obs [][]float64) []byte {
+	for _, row := range obs {
+		for _, v := range row {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// DecodeObsFrame splits a binary request body against the serving widths.
+// The returned rows alias freshly allocated storage, not the input.
+func DecodeObsFrame(body []byte, obsDims []int) ([][]float64, error) {
+	total := 0
+	for _, w := range obsDims {
+		total += w
+	}
+	if len(body) != total*8 {
+		return nil, fmt.Errorf("serve: binary obs frame is %d bytes, serving shape needs %d (%d f64 values)", len(body), total*8, total)
+	}
+	obs := make([][]float64, len(obsDims))
+	off := 0
+	for i, w := range obsDims {
+		row := make([]float64, w)
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		obs[i] = row
+	}
+	return obs, nil
+}
+
+// EncodeActReply appends the binary reply frame.
+func EncodeActReply(dst []byte, version uint64, actions []int) []byte {
+	dst = append(dst, actReplyMagic...)
+	dst = binary.LittleEndian.AppendUint64(dst, version)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(actions)))
+	for _, a := range actions {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(a))
+	}
+	return dst
+}
+
+// DecodeActReply parses a binary reply frame.
+func DecodeActReply(body []byte) (version uint64, actions []int, err error) {
+	if len(body) < len(actReplyMagic)+12 || string(body[:4]) != actReplyMagic {
+		return 0, nil, fmt.Errorf("serve: malformed action reply frame (%d bytes)", len(body))
+	}
+	version = binary.LittleEndian.Uint64(body[4:])
+	n := int(binary.LittleEndian.Uint32(body[12:]))
+	if len(body) != 16+4*n {
+		return 0, nil, fmt.Errorf("serve: action reply frame is %d bytes, header promises %d actions", len(body), n)
+	}
+	actions = make([]int, n)
+	for i := range actions {
+		actions[i] = int(binary.LittleEndian.Uint32(body[16+4*i:]))
+	}
+	return version, actions, nil
+}

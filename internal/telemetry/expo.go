@@ -16,7 +16,10 @@ const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 // text exposition format: one HELP/TYPE header per family (when help is
 // registered), counter series with a _total-style value line, gauges, and
 // histograms as cumulative _bucket{le=...} series plus _sum and _count.
-// Series order is deterministic.
+// Each histogram additionally renders a sibling summary family named
+// <name>_quantiles carrying the p50/p90/p99/p999 point estimates as
+// quantile-labelled series, so tail latencies are scrapeable without
+// server-side bucket math. Series order is deterministic.
 func (r *Registry) WriteExposition(w io.Writer) error {
 	s := r.Snapshot()
 	seen := make(map[string]bool)
@@ -70,6 +73,17 @@ func (r *Registry) WriteExposition(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(h.Name+"_count", h.Labels, "", ""), h.Count); err != nil {
 			return err
+		}
+		if err := header(h.Name+"_quantiles", "summary"); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			value float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}, {"0.999", h.P999}} {
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(h.Name+"_quantiles", h.Labels, "quantile", q.label), formatFloat(q.value)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

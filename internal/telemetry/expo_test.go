@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,11 @@ marl_phase_seconds_bucket{phase="env-step",le="0.1"} 3
 marl_phase_seconds_bucket{phase="env-step",le="+Inf"} 4
 marl_phase_seconds_sum{phase="env-step"} 2.051
 marl_phase_seconds_count{phase="env-step"} 4
+# TYPE marl_phase_seconds_quantiles summary
+marl_phase_seconds_quantiles{phase="env-step",quantile="0.5"} 0.001
+marl_phase_seconds_quantiles{phase="env-step",quantile="0.9"} 0.1
+marl_phase_seconds_quantiles{phase="env-step",quantile="0.99"} 0.1
+marl_phase_seconds_quantiles{phase="env-step",quantile="0.999"} 0.1
 `
 	if got := b.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -52,6 +58,51 @@ func TestExpositionLabelEscaping(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `c_total{k="a\"b\\c\nd"} 1`) {
 		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+// TestExpositionQuantileSeries is the p999 regression: every histogram must
+// render a sibling summary family <name>_quantiles with a valid TYPE header
+// and quantile-labelled series whose 0.999 value matches the snapshot
+// estimate, and the series lines must parse under the text-format grammar
+// (TestExpositionParseable checks the full-document grammar).
+func TestExpositionQuantileSeries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("marl_serve_latency_seconds", nil, "encoding", "json")
+	for i := 0; i < 2000; i++ {
+		h.Observe(0.001 * float64(i%7))
+	}
+	h.Observe(9) // tail outlier only the p999 sees
+
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# TYPE marl_serve_latency_seconds_quantiles summary\n") {
+		t.Fatalf("quantile summary family missing its TYPE header:\n%s", text)
+	}
+	sample := regexp.MustCompile(`(?m)^marl_serve_latency_seconds_quantiles\{encoding="json",quantile="(0\.5|0\.9|0\.99|0\.999)"\} (\S+)$`)
+	matches := sample.FindAllStringSubmatch(text, -1)
+	if len(matches) != 4 {
+		t.Fatalf("want 4 quantile series, found %d in:\n%s", len(matches), text)
+	}
+	snap := h.Snapshot()
+	wantP999 := formatFloat(snap.P999)
+	var sawP999 bool
+	for _, m := range matches {
+		if m[1] == "0.999" {
+			sawP999 = true
+			if m[2] != wantP999 {
+				t.Fatalf("p999 series renders %s, snapshot says %s", m[2], wantP999)
+			}
+		}
+	}
+	if !sawP999 {
+		t.Fatal("quantile ladder is missing the 0.999 series")
+	}
+	if snap.P999 < snap.P99 {
+		t.Fatalf("p999 %v below p99 %v", snap.P999, snap.P99)
 	}
 }
 

@@ -121,7 +121,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// Snapshot captures the histogram's buckets, totals and p50/p90/p99
+// Snapshot captures the histogram's buckets, totals and p50/p90/p99/p999
 // estimates. Name/Labels are filled by the registry.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -132,6 +132,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:    h.Quantile(0.50),
 		P90:    h.Quantile(0.90),
 		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
 	}
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()

@@ -135,3 +135,26 @@ func TestSnapshotQuantiles(t *testing.T) {
 		t.Fatalf("p90 %v > p99 %v", s.P90, s.P99)
 	}
 }
+
+// TestHistogramP999 pins the tail quantile: with 999 fast observations and
+// one slow outlier, p999 must land at or beyond the outlier's bucket while
+// p99 stays in the bulk, and the quantile ladder must be monotone.
+func TestHistogramP999(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1, 10})
+	for i := 0; i < 997; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(5) // tail events past the 0.999 rank
+	}
+	s := h.Snapshot()
+	if s.P99 > 0.001 {
+		t.Fatalf("p99 = %v, want within the fast bucket (≤ 0.001)", s.P99)
+	}
+	if s.P999 <= 1 || s.P999 > 10 {
+		t.Fatalf("p999 = %v, want inside the outlier bucket (1, 10]", s.P999)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("quantile ladder not monotone: %v %v %v %v", s.P50, s.P90, s.P99, s.P999)
+	}
+}

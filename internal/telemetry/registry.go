@@ -215,6 +215,7 @@ type HistogramSnapshot struct {
 	P50    float64   `json:"p50"`
 	P90    float64   `json:"p90"`
 	P99    float64   `json:"p99"`
+	P999   float64   `json:"p999"`
 }
 
 // Snapshot is a consistent-enough point-in-time view of every registered

@@ -34,6 +34,22 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// Reshape returns m resized to rows×cols, reusing the backing array when it
+// has capacity and allocating a fresh matrix otherwise (including m == nil).
+// Contents are unspecified after a reshape; callers that need zeros must
+// Zero() explicitly. This is the steady-state path for layers whose batch
+// size varies call to call (e.g. a serving batcher coalescing a fluctuating
+// number of requests): after the high-water mark, forwards allocate nothing.
+func Reshape(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return New(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	return m
+}
+
 // At returns the element at row i, column j.
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 

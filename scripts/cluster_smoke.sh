@@ -16,7 +16,9 @@
 #   - no process tripped the race detector.
 #
 # Ports/dirs are overridable via REPLAY_PORT / POLICY_PORT / ACTOR0_METRICS_PORT /
-# ACTOR1_METRICS_PORT / OUT.
+# ACTOR1_METRICS_PORT / OUT; the stitch-width gate via REQUIRE_PROCS (how
+# many distinct processes one merged trace must span), so other topologies
+# (e.g. the serving smoke) can reuse the merge gate at their own width.
 set -euo pipefail
 
 # Re-exec as a process-group leader so the EXIT trap can take down every
@@ -32,6 +34,7 @@ REPLAY_PORT=${REPLAY_PORT:-19300}
 POLICY_PORT=${POLICY_PORT:-19400}
 ACTOR0_METRICS_PORT=${ACTOR0_METRICS_PORT:-19500}
 ACTOR1_METRICS_PORT=${ACTOR1_METRICS_PORT:-19501}
+REQUIRE_PROCS=${REQUIRE_PROCS:-4}
 OUT=${OUT:-$(mktemp -d)}
 BIN="$OUT/bin"
 mkdir -p "$BIN"
@@ -138,12 +141,12 @@ echo "$metrics" | grep '^marl_exp_sample_requests_total' | awk '{exit !($2 > 0)}
   || fail "learner never sampled from the experience service"
 
 # Merge the five captures into one Chrome trace and gate on the loop's
-# end-to-end observability: at least one trace must stitch across ≥4 of
-# the five processes (learner update → replayd sample → policyd publish →
+# end-to-end observability: at least one trace must stitch across
+# ≥REQUIRE_PROCS of the five processes (learner update → replayd sample → policyd publish →
 # actor hot-swap), and the learner's phase-span sums must agree with its
 # profiler totals within 5% (full-rate sampling makes that exact enough).
 echo "merging traces"
-"$BIN/marl-trace" -o "$OUT/merged-trace.json" -require-procs 4 \
+"$BIN/marl-trace" -o "$OUT/merged-trace.json" -require-procs "$REQUIRE_PROCS" \
   -profilez "$OUT/learner-profile.json" -tolerance 0.05 \
   "$OUT/learner-trace.json" "$OUT/replayd-tracez.json" "$OUT/policyd-tracez.json" \
   "$OUT/actor0-tracez.json" "$OUT/actor1-tracez.json" \

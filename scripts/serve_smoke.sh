@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Four-process serving smoke: a real marl-policyd, a learner publishing
+# policy versions, a marl-serve inference gateway with a 25% canary split,
+# and a marl-loadgen closed loop. Race-instrumented binaries (halt on first
+# report), asserting:
+#
+#   - /healthz on the gateway answers 503 before the first policy publish
+#     and 200 after (readiness is gated on having a snapshot installed);
+#   - /statz shows two retained versions (head + stable canary arm);
+#   - the load run finishes with zero errors and hits BOTH canary arms
+#     (≥1 request served by the newest version and ≥1 by the previous);
+#   - the gateway drains cleanly on SIGTERM (exit 0);
+#   - the distributed traces stitch: learner → policyd → serve → loadgen
+#     captures merge (via marl-trace) into ≥1 trace spanning ≥4 processes;
+#   - no process tripped the race detector.
+#
+# Ports/dirs are overridable via POLICY_PORT / SERVE_PORT /
+# SERVE_METRICS_PORT / OUT.
+set -euo pipefail
+
+# Re-exec as a process-group leader so the EXIT trap can take down every
+# child with one group signal, even when the script itself dies mid-run.
+if [ -z "${SERVE_SMOKE_PG:-}" ] && command -v setsid >/dev/null 2>&1; then
+  SERVE_SMOKE_PG=1 exec setsid --wait "$0" "$@"
+fi
+
+cd "$(dirname "$0")/.."
+
+POLICY_PORT=${POLICY_PORT:-19700}
+SERVE_PORT=${SERVE_PORT:-19710}
+SERVE_METRICS_PORT=${SERVE_METRICS_PORT:-19711}
+OUT=${OUT:-$(mktemp -d)}
+BIN="$OUT/bin"
+mkdir -p "$BIN"
+
+export GORACE="halt_on_error=1"
+echo "building race-instrumented binaries into $BIN"
+go build -race -o "$BIN/marl-policyd" ./cmd/marl-policyd
+go build -race -o "$BIN/marl-train" ./cmd/marl-train
+go build -race -o "$BIN/marl-serve" ./cmd/marl-serve
+go build -race -o "$BIN/marl-loadgen" ./cmd/marl-loadgen
+go build -o "$BIN/marl-trace" ./cmd/marl-trace
+
+pids=()
+cleanup() {
+  trap - EXIT
+  trap '' INT TERM
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  kill -TERM -- "-$$" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "FAIL: $1" >&2; tail -n 20 "$OUT"/*.log >&2; exit 1; }
+
+wait_health() {
+  for _ in $(seq 1 75); do
+    if curl -sf "http://$1/healthz" >/dev/null; then return 0; fi
+    sleep 0.2
+  done
+  echo "service $1 never became healthy" >&2
+  return 1
+}
+
+# Wait until the port answers HTTP at all (any status code).
+wait_listening() {
+  for _ in $(seq 1 75); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$1/healthz" || true)
+    if [ "$code" != "000" ]; then return 0; fi
+    sleep 0.2
+  done
+  echo "service $1 never started listening" >&2
+  return 1
+}
+
+"$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" -trace >"$OUT/policyd.log" 2>&1 &
+pids+=($!)
+wait_health "127.0.0.1:$POLICY_PORT"
+
+# Start the gateway BEFORE any policy exists: its /healthz must answer 503
+# until the first snapshot installs. Canary 25% with full-rate tracing so
+# every /act joins the learner's trace.
+"$BIN/marl-serve" -addr "127.0.0.1:$SERVE_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+  -batch-window 2ms -max-batch 64 -canary-percent 25 -canary-seed 7 \
+  -trace -trace-sample 1 -metrics-addr "127.0.0.1:$SERVE_METRICS_PORT" \
+  >"$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+pids+=("$SERVE_PID")
+wait_listening "127.0.0.1:$SERVE_PORT"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$SERVE_PORT/healthz")
+[ "$code" = "503" ] || fail "gateway /healthz answered $code before any policy publish, want 503"
+echo "gateway correctly unready before first publish (503)"
+
+echo "running learner (publishing every 2 episodes)"
+"$BIN/marl-train" -policy-publish-addr "127.0.0.1:$POLICY_PORT" -policy-publish-every 2 \
+  -env cn -agents 3 -episodes 20 -batch 64 -log-every 10 \
+  -trace -trace-sample 1 -trace-buf 262144 -trace-out "$OUT/learner-trace.json" \
+  >"$OUT/learner.log" 2>&1
+
+wait_health "127.0.0.1:$SERVE_PORT"
+echo "gateway ready after publish (200)"
+
+statz=$(curl -sf "http://127.0.0.1:$SERVE_PORT/statz")
+echo "statz: $statz"
+echo "$statz" | jq -e '.ready and .version >= 2 and .previous >= 1 and .previous < .version' >/dev/null \
+  || fail "statz does not show two retained versions: $statz"
+
+echo "driving load (4 clients, 2s, binary encoding)"
+"$BIN/marl-loadgen" -addr "127.0.0.1:$SERVE_PORT" -clients 4 -duration 2s \
+  -encoding binary -seed 3 -report "$OUT/serve-load.json" \
+  -trace -trace-sample 1 -trace-out "$OUT/loadgen-trace.json" \
+  >"$OUT/loadgen.log" 2>&1 || fail "loadgen exited nonzero"
+
+jq -e '.errors == 0 and .requests > 0' "$OUT/serve-load.json" >/dev/null \
+  || fail "load run had errors: $(cat "$OUT/serve-load.json")"
+jq -e '(.versions | length) >= 2' "$OUT/serve-load.json" >/dev/null \
+  || fail "load hit only one policy version, canary split inactive: $(cat "$OUT/serve-load.json")"
+echo "load report: $(jq -c '{requests, errors, qps: (.qps | floor), versions}' "$OUT/serve-load.json")"
+
+# The gateway's own counters must agree: both canary arms took traffic.
+metrics=$(curl -sf "http://127.0.0.1:$SERVE_METRICS_PORT/metrics")
+echo "$metrics" | grep '^marl_serve_canary_total{arm="canary"}' | awk '{exit !($2 > 0)}' \
+  || fail "no requests routed to the canary arm"
+echo "$metrics" | grep '^marl_serve_canary_total{arm="stable"}' | awk '{exit !($2 > 0)}' \
+  || fail "no requests routed to the stable arm"
+echo "canary split live on both arms"
+
+# Capture span rings while the daemons are still up.
+curl -sf "http://127.0.0.1:$POLICY_PORT/tracez" >"$OUT/policyd-tracez.json" \
+  || fail "capturing /tracez from policyd"
+curl -sf "http://127.0.0.1:$SERVE_METRICS_PORT/tracez" >"$OUT/serve-tracez.json" \
+  || fail "capturing /tracez from marl-serve"
+
+# Graceful drain: SIGTERM must finish in-flight work and exit 0.
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+[ "$rc" = 0 ] || fail "marl-serve exited $rc on SIGTERM, want 0 (clean drain)"
+grep -q 'stopped: head v' "$OUT/serve.log" || fail "marl-serve log missing drain epilogue"
+echo "gateway drained cleanly on SIGTERM"
+
+# Merge the four captures: one trace must span ≥4 processes — learner
+# update → policyd publish → serve install/act → loadgen act-rpc.
+echo "merging traces"
+REQUIRE_PROCS=${REQUIRE_PROCS:-4}
+"$BIN/marl-trace" -o "$OUT/merged-trace.json" -require-procs "$REQUIRE_PROCS" \
+  "$OUT/learner-trace.json" "$OUT/policyd-tracez.json" \
+  "$OUT/serve-tracez.json" "$OUT/loadgen-trace.json" \
+  | tee "$OUT/trace-report.txt" || fail "trace merge/gates (see $OUT/trace-report.txt)"
+[ -s "$OUT/merged-trace.json" ] || fail "merged trace JSON is empty"
+
+if grep -l 'WARNING: DATA RACE' "$OUT"/*.log 2>/dev/null; then
+  fail "race detector fired (see logs above)"
+fi
+
+echo "serve smoke OK (logs in $OUT)"
