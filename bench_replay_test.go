@@ -13,14 +13,17 @@ package marlperf
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"marlperf/internal/expserve"
+	"marlperf/internal/expshard"
 	"marlperf/internal/expstore"
 	"marlperf/internal/replay"
 )
@@ -33,6 +36,7 @@ type replaySweepRow struct {
 	Mode        string  `json:"mode"`
 	SampleConns int     `json:"sample_conns"`
 	Prefetch    bool    `json:"prefetch"`
+	Shards      int     `json:"shards"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	Iters       int     `json:"iters"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
@@ -61,6 +65,49 @@ func benchReplayFill(b *testing.B, ring *expstore.Ring, rows int) {
 		}
 		ring.Append(row)
 	}
+}
+
+// newBenchFabric builds shards in-process replayd servers at R=1 behind
+// a client fabric.
+func newBenchFabric(b *testing.B, spec replay.Spec, shards int) *expserve.Fabric {
+	b.Helper()
+	var groups []expshard.Group
+	for gi := 0; gi < shards; gi++ {
+		id := expshard.DefaultGroupID(gi)
+		srv, err := expserve.NewServer(expserve.ServerConfig{Provider: expstore.NewRing(spec), Spec: spec, ShardID: id, QueueDepth: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv)
+		b.Cleanup(func() { hs.Close(); srv.Close() })
+		groups = append(groups, expshard.Group{ID: id, Members: []expshard.Member{{Addr: hs.URL}}})
+	}
+	fabric, err := expserve.NewFabric(groups, expserve.FabricOptions{
+		Client: expserve.ClientOptions{Timeout: 30 * time.Second, Attempts: 4, BaseDelay: time.Millisecond, JitterSeed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fabric
+}
+
+// benchShardRow builds one transition of the sweep's shape.
+func benchShardRow(spec replay.Spec, rng *rand.Rand) (obs, act [][]float64, rew []float64, nxt [][]float64, done []float64) {
+	vec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	for a := 0; a < spec.NumAgents; a++ {
+		obs = append(obs, vec(spec.ObsDims[a]))
+		act = append(act, vec(spec.ActDim))
+		nxt = append(nxt, vec(spec.ObsDims[a]))
+		rew = append(rew, rng.Float64())
+		done = append(done, 0)
+	}
+	return
 }
 
 // pipeDepth is how many prefetched batches the pipelined remote cell keeps
@@ -193,6 +240,108 @@ func BenchmarkExpServeSample(b *testing.B) {
 			})
 		}
 	}
+	// Sharded-fabric dimension: the same draw fanned in across shards∈
+	// {1,2,4} replay shards (R=1), and aggregate replicated ingest under
+	// GOMAXPROCS concurrent producers. The shards=1 sample cell isolates
+	// the shard-wire overhead (view shipped per request, slot merge)
+	// against the plain remote path; the ingest cells carry the scaling
+	// gate — 2-shard aggregate ingest must beat single-shard on multi-core
+	// because each shard applies its sub-stream independently.
+	for _, shards := range []int{1, 2, 4} {
+		fabric := newBenchFabric(b, spec, shards)
+
+		ingestName := "ingest/" + benchName("shards", shards)
+		b.Run(ingestName, func(b *testing.B) {
+			const chunk = 256
+			var rows, ids atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := ids.Add(1)
+				sink, err := expserve.NewShardedSink(fabric, fmt.Sprintf("bench-%d", id), spec)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				sink.SetMaxBatchRows(1 << 20) // flush manually, once per chunk
+				obs, act, rew, nxt, done := benchShardRow(spec, rand.New(rand.NewSource(id)))
+				for pb.Next() {
+					for r := 0; r < chunk; r++ {
+						if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := sink.Flush(); err != nil {
+						b.Error(err)
+						return
+					}
+					rows.Add(chunk)
+				}
+			})
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			rps := 0.0
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				rps = float64(rows.Load()) / sec
+			}
+			record(ingestName, replaySweepRow{
+				Plan: "ingest", Batch: chunk, Mode: "ingest", Shards: shards,
+				NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
+			})
+		})
+
+		// Sample cells draw from a fresh single-producer fill so the
+		// fabric view is balanced (the production shape).
+		sampleFabric := newBenchFabric(b, spec, shards)
+		filler, err := expserve.NewShardedSink(sampleFabric, "filler", spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filler.SetMaxBatchRows(4096)
+		obs, act, rew, nxt, done := benchShardRow(spec, rand.New(rand.NewSource(5)))
+		for i := 0; i < spec.Capacity/2; i++ {
+			if err := filler.Add(obs, act, rew, nxt, done); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := filler.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range plans {
+			src, err := expserve.NewShardedSource(sampleFabric, spec, p.plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := src.Len(); err != nil {
+				b.Fatal(err)
+			}
+			const batch = 1024
+			dst := make([]*replay.AgentBatch, spec.NumAgents)
+			for a := range dst {
+				dst[a] = replay.NewAgentBatch(batch, spec.ObsDims[a], spec.ActDim)
+			}
+			name := p.name + "/" + benchName("batch", batch) + "/" + benchName("sharded", shards)
+			b.Run(name, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := src.SampleBatch(batch, int64(i+1), dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				rps := 0.0
+				if ns > 0 {
+					rps = float64(batch) / (ns / 1e9)
+				}
+				record(name, replaySweepRow{
+					Plan: p.name, Batch: batch, Mode: "remote-sharded", SampleConns: 1, Shards: shards,
+					NsPerOp: ns, Iters: b.N, RowsPerSec: rps,
+				})
+			})
+		}
+	}
+
 	if len(order) == 0 {
 		return
 	}

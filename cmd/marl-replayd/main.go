@@ -32,6 +32,7 @@ import (
 
 	"marlperf"
 	"marlperf/internal/expserve"
+	"marlperf/internal/expshard"
 	"marlperf/internal/expstore"
 	"marlperf/internal/replay"
 	"marlperf/internal/telemetry"
@@ -56,6 +57,8 @@ func run() int {
 		segRows  = flag.Int("segment-rows", expstore.DefaultSegmentRows, "rows per segment file before rotation")
 		queue    = flag.Int("queue-depth", 64, "ingest queue depth in batches; a full queue answers 429")
 		maxRows  = flag.Int("max-sample-rows", 4096, "largest mini-batch one sample request may ask for")
+		shardID  = flag.String("shard-id", "", "serve as this shard group of a sharded fabric; shard-sample requests addressed to another group are rejected (empty: accept any)")
+		ringSpec = flag.String("ring", "", "fabric topology spec (same syntax as marl-train -replay-addr) to validate -shard-id against and print the ring placement at startup")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests and the ingest queue on SIGINT/SIGTERM")
 
 		metricsAddr = flag.String("metrics-addr", "", "additionally serve /metrics, /tracez, /healthz and /debug/pprof on this separate address (the main -addr always serves /metrics)")
@@ -136,12 +139,46 @@ Flags:
 
 	// Server spans are born from incoming X-Marl-Trace headers, so replayd
 	// needs no sampling cadence of its own — the callers decide what is
-	// traced; this process just records its side of those requests.
+	// traced; this process just records its side of those requests. Shard
+	// members stamp their group ID into the process role so a merged trace
+	// counts each shard as a distinct process.
 	var tracer *trace.Tracer
 	if *traceOn {
-		tracer = trace.New("replayd", *traceBuf)
+		procName := "replayd"
+		if *shardID != "" {
+			procName = "replayd/" + *shardID
+		}
+		tracer = trace.New(procName, *traceBuf)
 		tracer.SetEnabled(true)
 		fmt.Printf("tracing: recording spans for traced requests into a %d-record ring\n", *traceBuf)
+	}
+
+	// A shard of a fabric knows its own group ID so misaddressed
+	// shard-sample requests bounce instead of silently answering with the
+	// wrong sub-stream. -ring is optional cross-checking: the spec must
+	// mention this shard, and the placement is printed for the operator.
+	if *ringSpec != "" {
+		groups, err := expshard.ParseSpec(*ringSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-ring:", err)
+			return exitUsage
+		}
+		snap, err := expshard.BuildSnapshot(groups, expshard.DefaultPartitions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-ring:", err)
+			return exitUsage
+		}
+		if *shardID != "" {
+			found := false
+			for _, g := range groups {
+				found = found || g.ID == *shardID
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "-shard-id %q does not appear in -ring %q\n", *shardID, *ringSpec)
+				return exitUsage
+			}
+		}
+		fmt.Println(expshard.FormatTopology(snap))
 	}
 
 	srv, err := expserve.NewServer(expserve.ServerConfig{
@@ -152,6 +189,7 @@ Flags:
 		Registry:      registry,
 		DedupLogPath:  dedupPath,
 		Tracer:        tracer,
+		ShardID:       *shardID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -205,8 +243,12 @@ Flags:
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 
-	fmt.Printf("experience service: %s agents=%d stride=%d capacity=%d\n",
-		env.Name(), spec.NumAgents, replay.NewRowLayout(spec).Stride(), spec.Capacity)
+	shardNote := ""
+	if *shardID != "" {
+		shardNote = fmt.Sprintf(" shard=%s", *shardID)
+	}
+	fmt.Printf("experience service: %s agents=%d stride=%d capacity=%d%s\n",
+		env.Name(), spec.NumAgents, replay.NewRowLayout(spec).Stride(), spec.Capacity, shardNote)
 	fmt.Printf("serving /v1/append /v1/sample /v1/stats /metrics on http://%s\n", *addr)
 
 	sigCh := make(chan os.Signal, 1)

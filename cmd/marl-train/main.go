@@ -26,6 +26,7 @@ import (
 	"marlperf"
 	"marlperf/internal/core"
 	"marlperf/internal/expserve"
+	"marlperf/internal/expshard"
 	"marlperf/internal/mpe"
 	"marlperf/internal/plot"
 	"marlperf/internal/policysync"
@@ -75,11 +76,12 @@ func run() int {
 		traceOut    = flag.String("trace-out", "", "with -trace: write the recorded spans as Chrome trace JSON to this file at exit")
 		profileJSON = flag.String("profile-json", "", "write the final phase profile as JSON to this file at exit")
 
-		replayAddr  = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) at this address instead of the in-process buffer")
+		replayAddr  = flag.String("replay-addr", "", "use a remote experience service (marl-replayd) instead of the in-process buffer: one address, or a sharded fabric spec like \"h1:9300|h1:9301,h2:9300|h2:9301\" (comma-separated shard groups of pipe-separated replicas)")
 		actorID     = flag.String("actor-id", "learner-0", "append-stream id for experience this learner collects itself (with -replay-addr)")
 		replayRetry = flag.Duration("replay-retry", 2*time.Minute, "ride out an experience-service outage this long (retries with backoff) before failing the run")
 		sampleConns = flag.Int("sample-conns", 4, "persistent connections striping sample/append traffic to the experience service (with -replay-addr)")
 		prefetch    = flag.Bool("prefetch", false, "overlap next-update sample RPCs with gradient compute (with -replay-addr); bit-identical on or off")
+		spoolDir    = flag.String("spool-dir", "", "spool self-collected experience here while the experience service (or a fabric member) is unreachable; drained in order on recovery (with -replay-addr)")
 
 		policyAddr  = flag.String("policy-publish-addr", "", "publish actor weights to a policy service (marl-policyd) at this address")
 		policyEvery = flag.Int("policy-publish-every", 1, "update stages between policy publishes (with -policy-publish-addr)")
@@ -103,6 +105,16 @@ experience service (marl-replayd) instead of its in-process buffer. For a
 single learner and a fixed seed this trains bit-identically to the local
 run, because sampling is a pure function of (plan, length, seed) on
 either side.
+
+A -replay-addr containing "," "|" or "=" is a sharded fabric spec:
+comma-separated shard groups, each a pipe-separated list of replica
+replayd addresses ("h1:9300|h1:9301,h2:9300|h2:9301" is 2 shards at
+R=2). Experience is time-striped across groups by a consistent-hash
+ring, appends replicate to every member of the owning group, and each
+draw executes server-side on all shards and merges deterministically —
+at R=1 with all shards live, training stays bit-identical to a single
+replayd. A down member is served from its replicas; a fully down group
+is skipped with the draw reweighted (counted, never silent).
 
 With -policy-publish-addr the learner closes the actor half of the
 distributed loop: after every -policy-publish-every update stages (and once
@@ -226,13 +238,20 @@ Flags:
 	}
 	defer tr.Close()
 	tr.SetTracer(tracer)
+	var fabric *expserve.Fabric
 	if *replayAddr != "" {
-		if err := wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, *sampleConns, *prefetch, registry, tracer); err != nil {
+		fabric, err = wireExperienceService(tr, cfg, env, *replayAddr, *actorID, *replayRetry, *sampleConns, *prefetch, *spoolDir, registry, tracer)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
-		fmt.Printf("experience service: sampling and publishing via %s (plan=%s, actor-id=%s, conns=%d, prefetch=%v)\n",
-			*replayAddr, *sampler, *actorID, *sampleConns, *prefetch)
+		if fabric != nil {
+			fmt.Printf("experience fabric: %s (plan=%s, actor-id=%s, conns=%d, prefetch=%v)\n",
+				expshard.FormatTopology(fabric.Snapshot()), *sampler, *actorID, *sampleConns, *prefetch)
+		} else {
+			fmt.Printf("experience service: sampling and publishing via %s (plan=%s, actor-id=%s, conns=%d, prefetch=%v)\n",
+				*replayAddr, *sampler, *actorID, *sampleConns, *prefetch)
+		}
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -377,6 +396,12 @@ Flags:
 			return exitError
 		}
 	}
+	if fabric != nil {
+		// One greppable line for the smoke harnesses: how often the fabric
+		// left the happy path.
+		fmt.Printf("shard fabric: replica_reads=%d degraded_draws=%d\n",
+			fabric.ReplicaReads(), fabric.DegradedDraws())
+	}
 	if store != nil {
 		if err := saveSnapshot(store, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "final snapshot:", err)
@@ -454,10 +479,10 @@ Flags:
 // everything this learner collects itself is published back under
 // actorID so the service's row count gates updates exactly as a local
 // buffer would.
-func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, conns int, prefetch bool, reg *telemetry.Registry, tracer *trace.Tracer) error {
+func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlperf.Env, addr, actorID string, retryFor time.Duration, conns int, prefetch bool, spoolDir string, reg *telemetry.Registry, tracer *trace.Tracer) (*expserve.Fabric, error) {
 	plan, err := cfg.SamplePlan()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	spec := replay.Spec{
 		NumAgents: env.NumAgents(),
@@ -465,6 +490,54 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 		ActDim:    env.NumActions(),
 		Capacity:  cfg.BufferCapacity,
 	}
+
+	if expshard.IsSharded(addr) {
+		// Sharded fabric: the sampler fans one draw in across every shard
+		// group and the sink fans replicated appends out. Each member gets
+		// a short per-request deadline so a dead replica fails over fast;
+		// -replay-retry bounds how long a draw rides a whole-fabric outage.
+		groups, err := expshard.ParseSpec(addr)
+		if err != nil {
+			return nil, err
+		}
+		fabric, err := expserve.NewFabric(groups, expserve.FabricOptions{
+			Client: expserve.ClientOptions{
+				Registry: reg,
+				Conns:    conns,
+				Tracer:   tracer,
+			},
+			RetryFor: retryFor,
+			Registry: reg,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src, err := expserve.NewShardedSource(fabric, spec, plan)
+		if err != nil {
+			return nil, err
+		}
+		var source replay.TransitionSource = src
+		if prefetch {
+			source = expserve.NewPrefetchSource(src, conns, reg)
+		}
+		sink, err := expserve.NewShardedSink(fabric, actorID, spec)
+		if err != nil {
+			return nil, err
+		}
+		if spoolDir != "" {
+			if err := sink.EnableSpool(expserve.SpoolOptions{
+				Dir:      spoolDir,
+				MaxBytes: 1 << 30,
+				Registry: reg,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		sink.ResumeCursors()
+		return fabric, tr.SetExperienceService(source, sink)
+	}
+
 	// The learner would rather ride a replayd restart out than die mid-run:
 	// generous attempts, with -replay-retry as the real bound on how long
 	// one request may keep trying.
@@ -477,7 +550,7 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 	})
 	src, err := expserve.NewRemoteSource(client, spec, plan)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var source replay.TransitionSource = src
 	if prefetch {
@@ -485,9 +558,18 @@ func wireExperienceService(tr *marlperf.Trainer, cfg marlperf.Config, env marlpe
 	}
 	sink, err := expserve.NewRemoteSink(client, actorID, spec)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return tr.SetExperienceService(source, sink)
+	if spoolDir != "" {
+		if err := sink.EnableSpool(expserve.SpoolOptions{
+			Dir:      spoolDir,
+			MaxBytes: 1 << 30,
+			Registry: reg,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return nil, tr.SetExperienceService(source, sink)
 }
 
 // policyPublisher pushes the learner's actor weights to a policy service at

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"marlperf/internal/expserve"
+	"marlperf/internal/expshard"
+	"marlperf/internal/expstore"
+	"marlperf/internal/mpe"
+	"marlperf/internal/replay"
+)
+
+// newShardFabric spins up shards real replayd HTTP servers at R=1 and a
+// client fabric routing across them.
+func newShardFabric(t *testing.T, spec replay.Spec, shards int) *expserve.Fabric {
+	t.Helper()
+	var groups []expshard.Group
+	for gi := 0; gi < shards; gi++ {
+		id := expshard.DefaultGroupID(gi)
+		srv, err := expserve.NewServer(expserve.ServerConfig{Provider: expstore.NewRing(spec), Spec: spec, ShardID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv)
+		t.Cleanup(func() { hs.Close(); srv.Close() })
+		groups = append(groups, expshard.Group{ID: id, Members: []expshard.Member{{Addr: hs.URL}}})
+	}
+	fabric, err := expserve.NewFabric(groups, expserve.FabricOptions{
+		Client: expserve.ClientOptions{Timeout: 10 * time.Second, JitterSeed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fabric
+}
+
+// The tentpole acceptance criterion of the sharded replay fabric: a
+// trainer sampling from (and publishing to) N shards at R=1 must train
+// BIT-IDENTICALLY to one wired to a local in-process store — across
+// shard counts, update worker counts, and with prefetch overlap on or
+// off. Sharding, like the service split itself, is a pure throughput
+// topology knob: same insertion order, same per-batch seeds, same plan
+// executed on every shard over the same frozen view, same stable
+// shard-ordered merge, therefore the same weights.
+func TestShardedExperienceTrainingMatchesLocal(t *testing.T) {
+	cfg := expConfig(SamplerLocality)
+	env := mpe.NewCooperativeNavigation(2)
+	spec := expSpec(cfg, env)
+	plan, err := cfg.SamplePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localSrc, err := expstore.NewSource(expstore.NewRing(spec), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCkpt, localTr := runServiceTrainer(t, cfg, localSrc, localSrc, 4)
+	defer localTr.Close()
+	if localTr.UpdateCount() == 0 {
+		t.Fatal("no updates ran; the determinism check is vacuous")
+	}
+
+	for _, tc := range []struct {
+		name     string
+		shards   int
+		workers  int
+		prefetch bool
+	}{
+		{"2shards", 2, 1, false},
+		{"2shards-prefetch", 2, 1, true},
+		{"3shards-3workers-prefetch", 3, 3, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cfg
+			c.UpdateWorkers = tc.workers
+			fabric := newShardFabric(t, spec, tc.shards)
+			src, err := expserve.NewShardedSource(fabric, spec, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var source replay.TransitionSource = src
+			if tc.prefetch {
+				source = expserve.NewPrefetchSource(src, 2, nil)
+			}
+			sink, err := expserve.NewShardedSink(fabric, "actor-0", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckpt, tr := runServiceTrainer(t, c, source, sink, 4)
+			defer tr.Close()
+
+			if tr.UpdateCount() != localTr.UpdateCount() {
+				t.Fatalf("update counts diverge: sharded %d, local %d", tr.UpdateCount(), localTr.UpdateCount())
+			}
+			if !bytes.Equal(ckpt, localCkpt) {
+				t.Fatalf("sharded training diverged from local: checkpoints differ (%d vs %d bytes)", len(ckpt), len(localCkpt))
+			}
+			if fabric.DegradedDraws() != 0 || fabric.ReplicaReads() != 0 {
+				t.Fatalf("healthy run left the happy path: replica_reads=%d degraded_draws=%d",
+					fabric.ReplicaReads(), fabric.DegradedDraws())
+			}
+		})
+	}
+}

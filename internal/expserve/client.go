@@ -348,6 +348,21 @@ func (s *RemoteSource) Len() (int, error) {
 	return rows, err
 }
 
+// Prefetchable adapters: PrefetchSource drives the same pooled
+// fetch/split machinery SampleBatch uses, just split into phases.
+func (s *RemoteSource) acquireFetch() fetchState   { return s.acquire() }
+func (s *RemoteSource) releaseFetch(st fetchState) { s.release(st.(*clientScratch)) }
+func (s *RemoteSource) runFetch(n int, seed int64, st fetchState) error {
+	return s.fetch(n, seed, st.(*clientScratch))
+}
+func (s *RemoteSource) consumeFetch(st fetchState, n int, dst []*replay.AgentBatch) []int {
+	sc := st.(*clientScratch)
+	s.split(sc, dst)
+	idx := make([]int, n)
+	copy(idx, sc.idx[:n])
+	return idx
+}
+
 // SampleBatch implements replay.TransitionSource: one server-side plan
 // execution, decoded and split into per-agent tensors. The returned index
 // slice is freshly allocated (it cannot alias pooled scratch — concurrent

@@ -8,6 +8,25 @@ import (
 	"marlperf/internal/telemetry"
 )
 
+// fetchState is one in-flight fetch's pooled scratch, opaque to the
+// prefetcher (RemoteSource uses *clientScratch, ShardedSource
+// *shardScratch).
+type fetchState any
+
+// Prefetchable is the contract PrefetchSource wraps: a source whose
+// fetch work can run ahead of consumption on pooled scratch. Both
+// RemoteSource (one server) and ShardedSource (fabric fan-in draw)
+// implement it, so prefetch overlap composes with either topology.
+type Prefetchable interface {
+	replay.TransitionSource
+	acquireFetch() fetchState
+	releaseFetch(fetchState)
+	runFetch(n int, seed int64, st fetchState) error
+	// consumeFetch splits a completed fetch into dst and returns a
+	// freshly allocated index slice.
+	consumeFetch(st fetchState, n int, dst []*replay.AgentBatch) []int
+}
+
 // PrefetchSource overlaps sample RPCs with learner compute. The trainer
 // announces the next update round's (n, seed) pairs via PrefetchBatch; this
 // source launches the RPCs immediately (bounded by the stripe count) so
@@ -24,7 +43,7 @@ import (
 // remains bit-identical with the feature on or off, across worker counts
 // and under injected network faults.
 type PrefetchSource struct {
-	*RemoteSource
+	Prefetchable
 
 	// SyncAfter caps how long SampleBatch waits for an announced in-flight
 	// prefetch before abandoning it and fetching synchronously. Zero means
@@ -52,7 +71,7 @@ type prefetchKey struct {
 // round; whoever loses the race owns returning sc to the pool.
 type prefetchEntry struct {
 	done      chan struct{}
-	sc        *clientScratch
+	sc        fetchState
 	err       error
 	gen       uint64
 	abandoned bool
@@ -63,12 +82,12 @@ type prefetchEntry struct {
 // fetches pipeline across all warm connections without queueing behind each
 // other); reg, when non-nil, receives marl_exp_prefetch_hit_total /
 // marl_exp_prefetch_miss_total.
-func NewPrefetchSource(src *RemoteSource, stripes int, reg *telemetry.Registry) *PrefetchSource {
+func NewPrefetchSource(src Prefetchable, stripes int, reg *telemetry.Registry) *PrefetchSource {
 	if stripes < 1 {
 		stripes = 1
 	}
 	p := &PrefetchSource{
-		RemoteSource: src,
+		Prefetchable: src,
 		slots:        make(chan struct{}, stripes),
 		pending:      make(map[prefetchKey]*prefetchEntry),
 	}
@@ -118,11 +137,11 @@ func (p *PrefetchSource) PrefetchBatch(n int, seeds []int64) {
 // run performs one prefetch RPC under a stripe slot.
 func (p *PrefetchSource) run(key prefetchKey, e *prefetchEntry) {
 	p.slots <- struct{}{}
-	sc := p.acquire()
-	err := p.fetch(key.n, key.seed, sc)
+	sc := p.acquireFetch()
+	err := p.runFetch(key.n, key.seed, sc)
 	<-p.slots
 	if err != nil {
-		p.release(sc)
+		p.releaseFetch(sc)
 		sc = nil
 	}
 	p.mu.Lock()
@@ -133,7 +152,7 @@ func (p *PrefetchSource) run(key prefetchKey, e *prefetchEntry) {
 		p.mu.Unlock()
 		close(e.done)
 		if sc != nil {
-			p.release(sc)
+			p.releaseFetch(sc)
 		}
 		return
 	}
@@ -150,14 +169,14 @@ func (p *PrefetchSource) reap(e *prefetchEntry) {
 	e.sc = nil
 	p.mu.Unlock()
 	if sc != nil {
-		p.release(sc)
+		p.releaseFetch(sc)
 	}
 }
 
 // SampleBatch implements replay.TransitionSource. A completed prefetch for
 // (n, seed) is consumed without touching the network; anything else — not
 // announced, errored, or still in flight past SyncAfter — falls back to the
-// embedded source's synchronous path, which returns the exact same bytes.
+// wrapped source's synchronous path, which returns the exact same bytes.
 func (p *PrefetchSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
 	key := prefetchKey{n: n, seed: seed}
 	p.mu.Lock()
@@ -192,10 +211,8 @@ func (p *PrefetchSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch
 	if err != nil || sc == nil {
 		return p.miss(n, seed, dst)
 	}
-	defer p.release(sc)
-	p.split(sc, dst)
-	idx := make([]int, n)
-	copy(idx, sc.idx[:n])
+	defer p.releaseFetch(sc)
+	idx := p.consumeFetch(sc, n, dst)
 	if p.hits != nil {
 		p.hits.Inc()
 	}
@@ -207,7 +224,7 @@ func (p *PrefetchSource) miss(n int, seed int64, dst []*replay.AgentBatch) ([]in
 	if p.misses != nil {
 		p.misses.Inc()
 	}
-	return p.RemoteSource.SampleBatch(n, seed, dst)
+	return p.Prefetchable.SampleBatch(n, seed, dst)
 }
 
 var (

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"marlperf/internal/expshard"
 	"marlperf/internal/expstore"
 	"marlperf/internal/f64le"
 	"marlperf/internal/replay"
@@ -56,6 +57,12 @@ type ServerConfig struct {
 	// the client's trace. Nil or disabled costs one atomic load per
 	// request.
 	Tracer *trace.Tracer
+	// ShardID names this server's position in a sharded replay fabric
+	// (the -shard-id flag). Shard-sample requests addressed to a
+	// different shard are rejected — the guard against a misrouted
+	// fabric spec silently sampling the wrong substream. Empty accepts
+	// any request and is reported as "" in stats.
+	ShardID string
 }
 
 // ingestJob is one queued append batch; done carries the synchronous ack.
@@ -120,6 +127,10 @@ type Server struct {
 	sampleBytes    *telemetry.Counter
 	sampleErrors   *telemetry.Counter
 	sampleSeconds  *telemetry.Histogram
+	// Shard-sample metrics (fabric topologies only).
+	shardSampleRequests *telemetry.Counter
+	shardSampleRows     *telemetry.Counter
+	shardSampleMisaddr  *telemetry.Counter
 	// End-to-end lag metrics.
 	sampleAgeRows *telemetry.Histogram // per sampled row: store rows − row index
 	appendVisible *telemetry.Histogram // append arrival → rows sampleable
@@ -162,6 +173,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	reg.SetHelp("marl_exp_sample_bytes_total", "Sample response bytes written to the wire.")
 	reg.SetHelp("marl_exp_sample_age_rows", "Age of each sampled row, in rows appended since it (store row count minus sampled index).")
 	reg.SetHelp("marl_exp_append_visible_seconds", "Latency from append arrival to the batch's rows being flushed and sampleable.")
+	reg.SetHelp("marl_exp_shard_sample_requests_total", "Per-shard slices of fabric-wide sample draws served by this shard.")
+	reg.SetHelp("marl_exp_shard_sample_misaddressed_total", "Shard-sample requests rejected because they were addressed to a different shard id.")
 	s := &Server{
 		cfg:     cfg,
 		layout:  layout,
@@ -181,10 +194,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		sampleBytes:    reg.Counter("marl_exp_sample_bytes_total"),
 		sampleErrors:   reg.Counter("marl_exp_sample_errors_total"),
 		sampleSeconds:  reg.Histogram("marl_exp_sample_seconds", nil),
-		sampleAgeRows:  reg.Histogram("marl_exp_sample_age_rows", sampleAgeBuckets()),
-		appendVisible:  reg.Histogram("marl_exp_append_visible_seconds", nil),
-		storeRows:      reg.Gauge("marl_exp_store_rows"),
-		storeSegments:  reg.Gauge("marl_exp_store_segments"),
+
+		shardSampleRequests: reg.Counter("marl_exp_shard_sample_requests_total"),
+		shardSampleRows:     reg.Counter("marl_exp_shard_sample_rows_total"),
+		shardSampleMisaddr:  reg.Counter("marl_exp_shard_sample_misaddressed_total"),
+
+		sampleAgeRows: reg.Histogram("marl_exp_sample_age_rows", sampleAgeBuckets()),
+		appendVisible: reg.Histogram("marl_exp_append_visible_seconds", nil),
+		storeRows:     reg.Gauge("marl_exp_store_rows"),
+		storeSegments: reg.Gauge("marl_exp_store_segments"),
 	}
 	if cfg.DedupLogPath != "" {
 		if err := s.openDedupLog(cfg.DedupLogPath); err != nil {
@@ -194,6 +212,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(PathAppend, s.handleAppend)
 	s.mux.HandleFunc(PathSample, s.handleSample)
+	s.mux.HandleFunc(PathShardSample, s.handleShardSample)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	go s.ingestLoop()
 	return s, nil
@@ -578,6 +597,10 @@ type sampleScratch struct {
 	idx  []int
 	buf  []byte    // full response frame
 	rows []float64 // fallback gather target (providers without GatherEncodeLE)
+
+	// Shard-sample path only: the owned subset of the draw.
+	slots  []int32
+	locals []int
 }
 
 // readSampleRequest parses either wire form of a sample request: the binary
@@ -686,6 +709,154 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf)
 }
 
+// handleShardSample executes this shard's slice of a fabric-wide draw.
+// The request carries the client's frozen stream view; every shard runs
+// the identical pure (plan, viewLen, seed) selection over it, maps each
+// global index through the time-striped placement arithmetic, and
+// gathers only the slots this shard's group owns. Because selection and
+// mapping are pure functions of the request bytes, all shards agree on
+// slot ownership without talking to each other, and the client's
+// slot-merge reconstructs the exact batch a single store would return.
+func (s *Server) handleShardSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := decodeShardSampleRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.ShardID != "" && req.ShardID != "" && req.ShardID != s.cfg.ShardID {
+		s.shardSampleMisaddr.Inc()
+		http.Error(w, fmt.Sprintf("request addressed to shard %q, this is %q", req.ShardID, s.cfg.ShardID), http.StatusBadRequest)
+		return
+	}
+	if req.N < 1 || req.N > s.cfg.MaxSampleRows {
+		http.Error(w, fmt.Sprintf("n %d outside [1,%d]", req.N, s.cfg.MaxSampleRows), http.StatusBadRequest)
+		return
+	}
+	if err := req.Plan.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	view, err := expshard.NewView(req.Partitions, req.Offset, req.Part2Group, req.Stats)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !req.Stats[req.MyGroup].Live {
+		http.Error(w, "draw marks this shard's group dead", http.StatusBadRequest)
+		return
+	}
+	length := int(view.Len())
+	if length < 1 {
+		s.sampleErrors.Inc()
+		http.Error(w, "fabric view is empty", http.StatusConflict)
+		return
+	}
+	start := time.Now()
+	sp := s.requestSpan(r, "shard-sample")
+	s.sampleRequests.Inc()
+	s.shardSampleRequests.Inc()
+	stride := s.layout.Stride()
+
+	sc, _ := s.samplePool.Get().(*sampleScratch)
+	if sc == nil {
+		sc = &sampleScratch{}
+	}
+	defer s.samplePool.Put(sc)
+	if cap(sc.idx) < req.N {
+		sc.idx = make([]int, req.N)
+	}
+	idx := sc.idx[:req.N]
+	if err := req.Plan.FillIndices(idx, length, req.Seed); err != nil {
+		s.sampleErrors.Inc()
+		sp.EndArg("error", 1)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if cap(sc.slots) < req.N {
+		sc.slots = make([]int32, req.N)
+		sc.locals = make([]int, req.N)
+	}
+	slots, locals := sc.slots[:0], sc.locals[:0]
+	for j, gi := range idx {
+		g, local, _ := view.Map(int64(gi))
+		if g != req.MyGroup {
+			continue
+		}
+		slots = append(slots, int32(j))
+		locals = append(locals, int(local))
+	}
+	k := len(slots)
+	total := shardReplySize(k, stride)
+	if cap(sc.buf) < total {
+		sc.buf = make([]byte, total)
+	}
+	buf := sc.buf[:total]
+
+	s.provMu.RLock()
+	rowCount := s.cfg.Provider.RowCount()
+	var storeTotal uint64
+	if st, ok := s.cfg.Provider.(statser); ok {
+		storeTotal = st.Stats().Total
+	} else {
+		storeTotal = s.ingestRows.Value()
+	}
+	// The view's local indices are relative to the retained window the
+	// client observed; this store may have trimmed further (or, on a
+	// lagging replica, less) since. Shift by the trim drift, and refuse
+	// rather than mis-sample when a wanted row is gone or not yet here
+	// — the client treats the 409 as a degraded shard and fails over.
+	viewStat := req.Stats[req.MyGroup]
+	viewTrim := int64(viewStat.Total) - int64(viewStat.Rows)
+	storeTrim := int64(storeTotal) - int64(rowCount)
+	drift := viewTrim - storeTrim
+	var gatherErr error
+	for i := range locals {
+		l := int64(locals[i]) + drift
+		if l < 0 || l >= int64(rowCount) {
+			gatherErr = fmt.Errorf("row %d outside this shard's window [0,%d) (trim drift %d)", l, rowCount, drift)
+			break
+		}
+		locals[i] = int(l)
+	}
+	enc, fast := s.cfg.Provider.(leGatherer)
+	if gatherErr == nil {
+		if !fast {
+			gatherErr = fmt.Errorf("provider cannot gather shard samples")
+		} else {
+			enc.GatherEncodeLE(locals, buf[shardReplyHdr:])
+		}
+	}
+	s.provMu.RUnlock()
+	if gatherErr != nil {
+		s.sampleErrors.Inc()
+		sp.EndArg("error", 1)
+		http.Error(w, gatherErr.Error(), http.StatusConflict)
+		return
+	}
+	putShardReplyHeader(buf, k, stride, req.N)
+	putShardReplySlots(buf, k, stride, slots)
+	for _, l := range locals {
+		s.sampleAgeRows.Observe(float64(rowCount - l))
+	}
+	s.sampleRows.Add(uint64(k))
+	s.shardSampleRows.Add(uint64(k))
+	s.sampleBytes.Add(uint64(total))
+	s.sampleSeconds.Observe(time.Since(start).Seconds())
+	sp.EndArg("rows", int64(k))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	_, _ = w.Write(buf)
+}
+
 // handleStats reports the spec, occupancy and per-actor append cursors as
 // JSON. The cursors let a restarted actor resume its sequence stream past
 // what the server already applied instead of colliding with the dedup map.
@@ -699,6 +870,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Total = s.ingestRows.Value()
 		st.Stride = s.layout.Stride()
 	}
+	st.Shard = s.cfg.ShardID
 	actors := make(map[string]uint64, len(s.lastSeq))
 	for a, seq := range s.lastSeq {
 		actors[a] = seq

@@ -1,0 +1,397 @@
+package expserve
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"marlperf/internal/expshard"
+	"marlperf/internal/expstore"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+)
+
+// fabricCell is one test topology: groups×replicas of real in-process
+// replay servers behind a Fabric.
+type fabricCell struct {
+	fabric  *Fabric
+	servers [][]*httptest.Server
+	groups  []expshard.Group
+}
+
+// newFabricCell spins up groups×replicas servers (each replica of a
+// group carries the group's shard ID) and a Fabric over them.
+func newFabricCell(t *testing.T, spec replay.Spec, groups, replicas int, reg *telemetry.Registry) *fabricCell {
+	t.Helper()
+	cell := &fabricCell{}
+	for gi := 0; gi < groups; gi++ {
+		id := expshard.DefaultGroupID(gi)
+		g := expshard.Group{ID: id}
+		cell.servers = append(cell.servers, nil)
+		for mi := 0; mi < replicas; mi++ {
+			srv, err := NewServer(ServerConfig{Provider: expstore.NewRing(spec), Spec: spec, ShardID: id})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs := httptest.NewServer(srv)
+			t.Cleanup(func() { hs.Close(); srv.Close() })
+			cell.servers[gi] = append(cell.servers[gi], hs)
+			g.Members = append(g.Members, expshard.Member{Addr: hs.URL})
+		}
+		cell.groups = append(cell.groups, g)
+	}
+	f, err := NewFabric(cell.groups, FabricOptions{
+		Client:         ClientOptions{Timeout: 5 * time.Second, Attempts: 2, BaseDelay: time.Millisecond, JitterSeed: 1},
+		MemberDeadline: 2 * time.Second,
+		Registry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.fabric = f
+	return cell
+}
+
+func drawEqual(t *testing.T, tag string, idxA, idxB []int, dstA, dstB []*replay.AgentBatch) {
+	t.Helper()
+	for i := range idxA {
+		if idxA[i] != idxB[i] {
+			t.Fatalf("%s: index %d differs: %d vs %d", tag, i, idxA[i], idxB[i])
+		}
+	}
+	for a := range dstA {
+		for i := range dstA[a].Obs.Data {
+			if dstA[a].Obs.Data[i] != dstB[a].Obs.Data[i] {
+				t.Fatalf("%s: agent %d obs diverges at %d", tag, a, i)
+			}
+		}
+		for i := range dstA[a].Act.Data {
+			if dstA[a].Act.Data[i] != dstB[a].Act.Data[i] {
+				t.Fatalf("%s: agent %d act diverges at %d", tag, a, i)
+			}
+		}
+		for i := range dstA[a].NextObs.Data {
+			if dstA[a].NextObs.Data[i] != dstB[a].NextObs.Data[i] {
+				t.Fatalf("%s: agent %d next-obs diverges at %d", tag, a, i)
+			}
+		}
+		for i := range dstA[a].Rew.Data {
+			if dstA[a].Rew.Data[i] != dstB[a].Rew.Data[i] || dstA[a].Done.Data[i] != dstB[a].Done.Data[i] {
+				t.Fatalf("%s: agent %d scalars diverge at %d", tag, a, i)
+			}
+		}
+	}
+}
+
+// The tentpole equivalence property: a sharded fabric at R=1 must be
+// bit-identical to a single replayd — same rows in, same (plan, n,
+// seed) draws out, across shard counts.
+func TestShardedMatchesSingleStoreBitForBit(t *testing.T) {
+	spec := testSpec(256)
+	for _, shards := range []int{1, 2, 4} {
+		for _, plan := range []replay.SamplePlan{
+			{Strategy: replay.PlanUniform},
+			{Strategy: replay.PlanLocality, Neighbors: 8, Refs: 4},
+		} {
+			cell := newFabricCell(t, spec, shards, 1, nil)
+			sink, err := NewShardedSink(cell.fabric, "actor-0", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			localRing := expstore.NewRing(spec)
+			local, err := expstore.NewSource(localRing, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rngA := rand.New(rand.NewSource(7))
+			rngB := rand.New(rand.NewSource(7))
+			const rows = 200 // below per-shard capacity: no trims anywhere
+			for i := 0; i < rows; i++ {
+				obs, act, rew, nxt, done := step(rngA)
+				if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+					t.Fatal(err)
+				}
+				obs, act, rew, nxt, done = step(rngB)
+				if err := local.Add(obs, act, rew, nxt, done); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sink.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			src, err := NewShardedSource(cell.fabric, spec, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nF, err := src.Len()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nL, _ := local.Len()
+			if nF != nL || nF != rows {
+				t.Fatalf("shards=%d plan %v: fabric Len %d, local Len %d, want %d", shards, plan, nF, nL, rows)
+			}
+
+			const batch = 32
+			for trial := 0; trial < 5; trial++ {
+				seed := int64(4000 + trial)
+				dstF := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+				dstL := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+				idxF, err := src.SampleBatch(batch, seed, dstF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idxL, err := local.SampleBatch(batch, seed, dstL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drawEqual(t, "sharded-vs-local", idxF, idxL, dstF, dstL)
+			}
+		}
+	}
+}
+
+// Replication: every replica of a group receives every routed row, so
+// killing the preferred member mid-stream must not change a single
+// sampled bit — only the marl_shard_replica_reads_total counter.
+func TestShardedReplicaFailoverBitForBit(t *testing.T) {
+	spec := testSpec(256)
+	plan := replay.SamplePlan{Strategy: replay.PlanUniform}
+	reg := telemetry.NewRegistry()
+	cell := newFabricCell(t, spec, 2, 2, reg)
+
+	sink, err := NewShardedSink(cell.fabric, "actor-0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := expstore.NewSource(expstore.NewRing(spec), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA, rngB := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	for i := 0; i < 180; i++ {
+		obs, act, rew, nxt, done := step(rngA)
+		if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+			t.Fatal(err)
+		}
+		obs, act, rew, nxt, done = step(rngB)
+		if err := local.Add(obs, act, rew, nxt, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := NewShardedSource(cell.fabric, spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Len(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill group 0's preferred member; its replica holds an identical copy.
+	cell.servers[0][0].Close()
+	if n, err := src.Len(); err != nil || n != 180 {
+		t.Fatalf("Len after member kill: %d, %v", n, err)
+	}
+
+	const batch = 32
+	for trial := 0; trial < 3; trial++ {
+		seed := int64(9000 + trial)
+		dstF := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+		dstL := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+		idxF, err := src.SampleBatch(batch, seed, dstF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxL, err := local.SampleBatch(batch, seed, dstL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drawEqual(t, "failover-vs-local", idxF, idxL, dstF, dstL)
+	}
+	if cell.fabric.ReplicaReads() == 0 {
+		t.Fatal("expected replica reads after killing the preferred member")
+	}
+	if cell.fabric.DegradedDraws() != 0 {
+		t.Fatalf("replica failover must not degrade the draw, got %d degraded", cell.fabric.DegradedDraws())
+	}
+}
+
+// Degraded reads: a group losing every replica is excluded and the draw
+// reweighted over the survivors — training continues, the loss is
+// counted, and the batch is fully populated from live shards.
+func TestShardedDegradedDrawSkipsDeadGroup(t *testing.T) {
+	spec := testSpec(256)
+	plan := replay.SamplePlan{Strategy: replay.PlanUniform}
+	reg := telemetry.NewRegistry()
+	cell := newFabricCell(t, spec, 2, 1, reg)
+
+	sink, err := NewShardedSink(cell.fabric, "actor-0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 160; i++ {
+		obs, act, rew, nxt, done := step(rng)
+		if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := NewShardedSource(cell.fabric, spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Len(); err != nil {
+		t.Fatal(err)
+	}
+
+	cell.servers[1][0].Close() // whole group 1 gone (R=1)
+
+	const batch = 32
+	dst := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+	idx, err := src.SampleBatch(batch, 777, dst)
+	if err != nil {
+		t.Fatalf("degraded draw failed: %v", err)
+	}
+	if len(idx) != batch {
+		t.Fatalf("degraded draw returned %d indices, want %d", len(idx), batch)
+	}
+	if cell.fabric.DegradedDraws() == 0 {
+		t.Fatal("expected degraded draws after losing a whole group")
+	}
+	// The reweighted stream must still be sampleable via Len.
+	n, err := src.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 160 {
+		t.Fatalf("degraded Len %d outside (0,160]", n)
+	}
+}
+
+// Prefetch overlap composes with the fabric: a prefetched fabric draw
+// is bit-identical to the synchronous one.
+func TestShardedPrefetchMatchesSync(t *testing.T) {
+	spec := testSpec(256)
+	plan := replay.SamplePlan{Strategy: replay.PlanUniform}
+	cell := newFabricCell(t, spec, 2, 1, nil)
+
+	sink, err := NewShardedSink(cell.fabric, "actor-0", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 150; i++ {
+		obs, act, rew, nxt, done := step(rng)
+		if err := sink.Add(obs, act, rew, nxt, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sync1, err := NewShardedSource(cell.fabric, spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync2, err := NewShardedSource(cell.fabric, spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := NewPrefetchSource(sync2, 2, nil)
+	if _, err := sync1.Len(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pre.Len(); err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 24
+	seeds := []int64{101, 102, 103}
+	pre.PrefetchBatch(batch, seeds)
+	for _, seed := range seeds {
+		dstS := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+		dstP := []*replay.AgentBatch{replay.NewAgentBatch(batch, 3, 2), replay.NewAgentBatch(batch, 4, 2)}
+		idxS, err := sync1.SampleBatch(batch, seed, dstS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxP, err := pre.SampleBatch(batch, seed, dstP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drawEqual(t, "prefetch-vs-sync", idxS, idxP, dstS, dstP)
+	}
+}
+
+// Wire sanity: the shard request survives an encode/decode round trip
+// and corruption of any byte is detected.
+func TestShardWireRoundTripAndCorruption(t *testing.T) {
+	req := shardSampleRequest{
+		N:          32,
+		Seed:       -12345,
+		Plan:       replay.SamplePlan{Strategy: replay.PlanLocality, Neighbors: 8, Refs: 4},
+		ShardID:    "shard-1",
+		MyGroup:    1,
+		Partitions: 64,
+		Offset:     0,
+		Part2Group: func() []int {
+			p := make([]int, 64)
+			for i := range p {
+				p[i] = i % 3
+			}
+			return p
+		}(),
+		Stats: []expshard.GroupStat{
+			{Rows: 100, Total: 100, Live: true},
+			{Rows: 90, Total: 120, Live: true},
+			{Rows: 0, Total: 0, Live: false},
+		},
+	}
+	buf, err := encodeShardSampleRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeShardSampleRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != req.N || got.Seed != req.Seed || got.ShardID != req.ShardID || got.MyGroup != req.MyGroup ||
+		got.Partitions != req.Partitions || got.Plan.Strategy != req.Plan.Strategy || got.Plan.Neighbors != req.Plan.Neighbors {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+	}
+	for i := range req.Part2Group {
+		if got.Part2Group[i] != req.Part2Group[i] {
+			t.Fatalf("part2group[%d] = %d, want %d", i, got.Part2Group[i], req.Part2Group[i])
+		}
+	}
+	for g := range req.Stats {
+		if got.Stats[g] != req.Stats[g] {
+			t.Fatalf("stats[%d] = %+v, want %+v", g, got.Stats[g], req.Stats[g])
+		}
+	}
+
+	for pos := 0; pos < len(buf); pos++ {
+		mut := make([]byte, len(buf))
+		copy(mut, buf)
+		mut[pos] ^= 0x41
+		if _, err := decodeShardSampleRequest(mut); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+	if _, err := decodeShardSampleRequest(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated request went undetected")
+	}
+}

@@ -1,0 +1,772 @@
+package expserve
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marlperf/internal/expshard"
+	"marlperf/internal/f64le"
+	"marlperf/internal/replay"
+	"marlperf/internal/telemetry"
+	"marlperf/internal/trace"
+)
+
+// FabricOptions configure client-side routing over a sharded replay
+// fabric.
+type FabricOptions struct {
+	// Client is the per-member client template. Edge is suffixed with
+	// the member's group/replica position, and TotalDeadline is
+	// replaced by MemberDeadline (fabric routing owns ride-through —
+	// a member that does not answer within its bounded share fails
+	// over to a replica instead of stalling the draw).
+	Client ClientOptions
+	// Partitions sets the hash-ring partition count; 0 uses
+	// expshard.DefaultPartitions. Every process on the fabric must use
+	// the same value.
+	Partitions int
+	// MemberDeadline bounds one member's share of a routing decision
+	// (stats probe, shard draw, append) before the fabric moves on.
+	// Defaults to 3s.
+	MemberDeadline time.Duration
+	// RetryFor keeps whole-fabric operations (view refresh, draws with
+	// every replica of a group down) retrying with backoff for this
+	// long before surfacing the failure — the ride-through budget for
+	// a full shard restart. Zero tries once.
+	RetryFor time.Duration
+	// Registry receives marl_shard_* fabric metrics; nil keeps them
+	// private.
+	Registry *telemetry.Registry
+	// Tracer propagates per-shard sample spans; see ClientOptions.
+	Tracer *trace.Tracer
+}
+
+// fabricRetryDelay paces the outer ride-through loop.
+const fabricRetryDelay = 250 * time.Millisecond
+
+// Fabric is the client half of the sharded, replicated replay fabric:
+// one Client (own circuit breaker, own connection pool) per replayd
+// member, addressed through the consistent-hash ring. Sources fan
+// sample RPCs in across shards; sinks fan replicated appends out.
+type Fabric struct {
+	opts FabricOptions
+	ring *expshard.Ring
+
+	// mu guards the snapshot↔clients pairing across Rebuild.
+	mu      sync.RWMutex
+	snap    *expshard.Snapshot
+	clients [][]*Client // [group][member], aligned with snap.Groups
+
+	replicaReads  *telemetry.Counter
+	degradedDraws *telemetry.Counter
+	viewRefreshes *telemetry.Counter
+	rebuildsC     *telemetry.Counter
+	groupsG       *telemetry.Gauge
+	replicasG     *telemetry.Gauge
+	versionG      *telemetry.Gauge
+}
+
+// NewFabric builds the ring snapshot and one client per member.
+func NewFabric(groups []expshard.Group, opts FabricOptions) (*Fabric, error) {
+	if opts.MemberDeadline <= 0 {
+		opts.MemberDeadline = 3 * time.Second
+	}
+	ring, err := expshard.NewRing(groups, opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	reg.SetHelp("marl_shard_replica_reads_total", "Fabric reads served by a non-preferred replica because the preferred member was down.")
+	reg.SetHelp("marl_shard_degraded_draws_total", "Sample draws recomputed with a shard group excluded (skip-and-reweight) because every replica was down.")
+	reg.SetHelp("marl_shard_view_refreshes_total", "Fabric stream-view refreshes (one stats fan-out each).")
+	reg.SetHelp("marl_shard_ring_rebuilds_total", "Consistent-hash ring rebuilds from membership changes.")
+	reg.SetHelp("marl_shard_groups", "Shard groups in the current ring snapshot.")
+	reg.SetHelp("marl_shard_replicas", "Replication factor (widest member count across groups).")
+	reg.SetHelp("marl_shard_ring_version", "Version of the installed ring snapshot.")
+	f := &Fabric{
+		opts:          opts,
+		ring:          ring,
+		replicaReads:  reg.Counter("marl_shard_replica_reads_total"),
+		degradedDraws: reg.Counter("marl_shard_degraded_draws_total"),
+		viewRefreshes: reg.Counter("marl_shard_view_refreshes_total"),
+		rebuildsC:     reg.Counter("marl_shard_ring_rebuilds_total"),
+		groupsG:       reg.Gauge("marl_shard_groups"),
+		replicasG:     reg.Gauge("marl_shard_replicas"),
+		versionG:      reg.Gauge("marl_shard_ring_version"),
+	}
+	f.install(ring.Snapshot())
+	return f, nil
+}
+
+// install builds member clients for a snapshot and publishes the pair.
+func (f *Fabric) install(snap *expshard.Snapshot) {
+	clients := make([][]*Client, len(snap.Groups))
+	for gi, g := range snap.Groups {
+		clients[gi] = make([]*Client, len(g.Members))
+		for mi, m := range g.Members {
+			opts := f.opts.Client
+			edge := opts.Edge
+			if edge == "" {
+				edge = "replay"
+			}
+			opts.Edge = fmt.Sprintf("%s-%s-m%d", edge, g.ID, mi)
+			opts.TotalDeadline = f.opts.MemberDeadline
+			opts.Registry = f.opts.Registry
+			opts.Tracer = f.opts.Tracer
+			clients[gi][mi] = NewClient(m.Addr, opts)
+		}
+	}
+	f.mu.Lock()
+	f.snap, f.clients = snap, clients
+	f.mu.Unlock()
+	f.groupsG.Set(float64(len(snap.Groups)))
+	f.replicasG.Set(float64(snap.MaxReplicas()))
+	f.versionG.Set(float64(snap.Version))
+}
+
+// Rebuild recomputes placement for a changed membership (consistent
+// hashing moves only the affected groups' partitions) and swaps in
+// fresh member clients. Sources pick the new topology up on their next
+// view refresh; sinks are bound to the topology they were built with.
+func (f *Fabric) Rebuild(groups []expshard.Group) error {
+	snap, err := f.ring.Rebuild(groups)
+	if err != nil {
+		return err
+	}
+	f.install(snap)
+	f.rebuildsC.Inc()
+	return nil
+}
+
+// Snapshot returns the current ring snapshot.
+func (f *Fabric) Snapshot() *expshard.Snapshot {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.snap
+}
+
+// topology returns the snapshot with its aligned client matrix.
+func (f *Fabric) topology() (*expshard.Snapshot, [][]*Client) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.snap, f.clients
+}
+
+// ReplicaReads reports fabric reads that failed over to a replica.
+func (f *Fabric) ReplicaReads() uint64 { return f.replicaReads.Value() }
+
+// DegradedDraws reports draws recomputed with a group excluded.
+func (f *Fabric) DegradedDraws() uint64 { return f.degradedDraws.Value() }
+
+// FetchSpec returns the transition spec from the first reachable
+// member, riding the RetryFor budget — the fabric equivalent of
+// Client.Stats for startup validation.
+func (f *Fabric) FetchSpec() (replay.Spec, error) {
+	var lastErr error
+	deadline := time.Now().Add(f.opts.RetryFor)
+	for {
+		snap, clients := f.topology()
+		for gi := range snap.Groups {
+			for _, c := range clients[gi] {
+				st, err := c.ServiceStats()
+				if err == nil {
+					return st.Spec, nil
+				}
+				lastErr = err
+			}
+		}
+		if f.opts.RetryFor <= 0 || time.Now().After(deadline) {
+			return replay.Spec{}, fmt.Errorf("expserve: no fabric member reachable: %w", lastErr)
+		}
+		time.Sleep(fabricRetryDelay)
+	}
+}
+
+// fabricView freezes one sampling topology: the ring snapshot, its
+// client matrix, the stream view built from a stats fan-out, and the
+// preferred (first live) member per group. Draws read it via one
+// atomic load; refreshes swap the whole thing.
+type fabricView struct {
+	snap    *expshard.Snapshot
+	clients [][]*Client
+	view    *expshard.View
+	pref    []int // preferred member index per group; -1 = none answered
+}
+
+// ShardedSource samples fabric-wide mini-batches, implementing
+// replay.TransitionSource and Prefetchable. Every draw executes the
+// same pure (plan, viewLen, seed) selection on all live shards
+// (server-side, next to the data) and merges the returned slices by
+// batch slot — a stable shard-ordered merge over disjoint slot sets —
+// so at R=1 with all shards live the batch is bit-identical to a
+// single replayd executing the same draw.
+//
+// Degraded paths (counted, never silent): a down member fails over to
+// the next replica in its group; a group with every replica down is
+// excluded from a recomputed draw (skip-and-reweight over the
+// shrunken stream). Neither preserves bit-identity — they preserve
+// training progress.
+type ShardedSource struct {
+	f      *Fabric
+	plan   replay.SamplePlan
+	layout replay.RowLayout
+
+	view    atomic.Pointer[fabricView]
+	scratch sync.Pool // of *shardScratch
+}
+
+// groupScratch is one group's slice of an in-flight draw.
+type groupScratch struct {
+	req   []byte
+	body  []byte
+	slots []int32
+	rows  []float64 // decode fallback when the f64le view is unavailable
+	view  []float64 // k*stride gathered floats, aliasing body or rows
+	k     int
+	dead  bool
+}
+
+// shardScratch is one in-flight fabric draw's worth of pooled buffers.
+type shardScratch struct {
+	idx     []int
+	merged  []float64
+	covered []bool
+	groups  []groupScratch
+	n       int
+}
+
+// NewShardedSource validates the plan and the fabric's spec against
+// the trainer's.
+func NewShardedSource(f *Fabric, want replay.Spec, plan replay.SamplePlan) (*ShardedSource, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	got, err := f.FetchSpec()
+	if err != nil {
+		return nil, err
+	}
+	if got.NumAgents != want.NumAgents || got.ActDim != want.ActDim || len(got.ObsDims) != len(want.ObsDims) {
+		return nil, fmt.Errorf("expserve: fabric spec %+v does not match trainer spec %+v", got, want)
+	}
+	for a, od := range want.ObsDims {
+		if got.ObsDims[a] != od {
+			return nil, fmt.Errorf("expserve: fabric obs dim %d for agent %d, trainer wants %d", got.ObsDims[a], a, od)
+		}
+	}
+	return &ShardedSource{f: f, plan: plan, layout: replay.NewRowLayout(want)}, nil
+}
+
+// Plan returns the plan executed server-side on every shard.
+func (s *ShardedSource) Plan() replay.SamplePlan { return s.plan }
+
+// tryRefresh performs one stats fan-out (members of each group probed
+// in order until one answers) and builds a fresh fabric view.
+func (s *ShardedSource) tryRefresh() (*fabricView, error) {
+	snap, clients := s.f.topology()
+	g := len(snap.Groups)
+	stats := make([]expshard.GroupStat, g)
+	pref := make([]int, g)
+	var wg sync.WaitGroup
+	for gi := 0; gi < g; gi++ {
+		pref[gi] = -1
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for mi, c := range clients[gi] {
+				st, err := c.ServiceStats()
+				if err != nil {
+					continue
+				}
+				stats[gi] = expshard.GroupStat{Rows: uint64(st.Rows), Total: st.Total, Live: true}
+				pref[gi] = mi
+				return
+			}
+		}(gi)
+	}
+	wg.Wait()
+	live := 0
+	for _, st := range stats {
+		if st.Live {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("expserve: no replay shard reachable (%d groups probed)", g)
+	}
+	view, err := expshard.NewView(snap.Partitions, 0, snap.Part2Group, stats)
+	if err != nil {
+		return nil, err
+	}
+	s.f.viewRefreshes.Inc()
+	return &fabricView{snap: snap, clients: clients, view: view, pref: pref}, nil
+}
+
+// refreshView swaps in a fresh view, riding the RetryFor budget
+// through a full-fabric outage.
+func (s *ShardedSource) refreshView() (*fabricView, error) {
+	deadline := time.Now().Add(s.f.opts.RetryFor)
+	for {
+		fv, err := s.tryRefresh()
+		if err == nil {
+			s.view.Store(fv)
+			return fv, nil
+		}
+		if s.f.opts.RetryFor <= 0 || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(fabricRetryDelay)
+	}
+}
+
+// Len implements replay.TransitionSource: the fabric-wide sampleable
+// row count. Each call refreshes the frozen view — the trainer calls
+// Len at the update gate, so draws inside one update all see the
+// stream state the gate saw, matching a single store's behavior
+// across worker counts and prefetch settings.
+func (s *ShardedSource) Len() (int, error) {
+	fv, err := s.refreshView()
+	if err != nil {
+		return 0, err
+	}
+	return int(fv.view.Len()), nil
+}
+
+func (s *ShardedSource) acquireFetch() fetchState {
+	if sc, ok := s.scratch.Get().(*shardScratch); ok {
+		return sc
+	}
+	return &shardScratch{}
+}
+
+func (s *ShardedSource) releaseFetch(st fetchState) {
+	sc := st.(*shardScratch)
+	sc.n = 0
+	s.scratch.Put(sc)
+}
+
+// runFetch executes one fabric draw into sc, riding RetryFor through
+// transient whole-fabric failures.
+func (s *ShardedSource) runFetch(n int, seed int64, st fetchState) error {
+	sc := st.(*shardScratch)
+	deadline := time.Now().Add(s.f.opts.RetryFor)
+	for {
+		err := s.tryDraw(n, seed, sc)
+		if err == nil {
+			return nil
+		}
+		if s.f.opts.RetryFor <= 0 || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(fabricRetryDelay)
+		if _, rerr := s.refreshView(); rerr != nil && time.Now().After(deadline) {
+			return rerr
+		}
+	}
+}
+
+// tryDraw executes the draw against the current view, excluding groups
+// that lose every replica mid-draw (skip-and-reweight) and redrawing
+// until the live set holds still.
+func (s *ShardedSource) tryDraw(n int, seed int64, sc *shardScratch) error {
+	fv := s.view.Load()
+	if fv == nil {
+		var err error
+		if fv, err = s.refreshView(); err != nil {
+			return err
+		}
+	}
+	stride := s.layout.Stride()
+	s.sizeScratch(sc, n, stride, len(fv.snap.Groups))
+	var lastErr error
+	for redo := 0; redo <= len(fv.snap.Groups); redo++ {
+		length := int(fv.view.Len())
+		if length < 1 {
+			return fmt.Errorf("expserve: fabric stream is empty")
+		}
+		idx := sc.idx[:n]
+		if err := s.plan.FillIndices(idx, length, seed); err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		var failedAny atomic.Bool
+		for gi := range fv.snap.Groups {
+			gs := &sc.groups[gi]
+			gs.k, gs.dead = 0, false
+			if !fv.view.Stats[gi].Live {
+				gs.dead = true
+				continue
+			}
+			wg.Add(1)
+			go func(gi int, gs *groupScratch) {
+				defer wg.Done()
+				if err := s.groupFetch(fv, gi, n, seed, stride, gs); err != nil {
+					gs.dead = true
+					failedAny.Store(true)
+				}
+			}(gi, gs)
+		}
+		wg.Wait()
+		if failedAny.Load() {
+			// Exclude the groups that just lost their last replica and
+			// reweight the draw over the survivors.
+			view := fv.view
+			var err error
+			anyLive := false
+			for gi := range sc.groups {
+				if sc.groups[gi].dead && view.Stats[gi].Live {
+					if view, err = view.WithDead(gi); err != nil {
+						return err
+					}
+				}
+			}
+			for _, st := range view.Stats {
+				anyLive = anyLive || st.Live
+			}
+			if !anyLive {
+				return fmt.Errorf("expserve: every shard group is down")
+			}
+			s.f.degradedDraws.Inc()
+			fv = &fabricView{snap: fv.snap, clients: fv.clients, view: view, pref: fv.pref}
+			s.view.Store(fv)
+			lastErr = fmt.Errorf("expserve: shard group(s) down, draw reweighted")
+			continue
+		}
+		return s.merge(sc, n, stride)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("expserve: fabric draw did not converge")
+	}
+	return lastErr
+}
+
+// sizeScratch grows sc for an n-row draw across groups.
+func (sc *shardScratch) grow(n, stride, groups int) {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	if cap(sc.merged) < n*stride {
+		sc.merged = make([]float64, n*stride)
+	}
+	if cap(sc.covered) < n {
+		sc.covered = make([]bool, n)
+	}
+	if len(sc.groups) < groups {
+		sc.groups = make([]groupScratch, groups)
+	}
+	sc.n = n
+}
+
+func (s *ShardedSource) sizeScratch(sc *shardScratch, n, stride, groups int) {
+	sc.grow(n, stride, groups)
+}
+
+// groupFetch runs this group's slice of the draw against its preferred
+// member, failing over through the replicas. Replies are decoded into
+// gs; any non-primary member (index > 0) serving the draw counts as a
+// replica read.
+func (s *ShardedSource) groupFetch(fv *fabricView, gi, n int, seed int64, stride int, gs *groupScratch) error {
+	req, err := encodeShardSampleRequest(gs.req[:0], shardSampleRequest{
+		N:          n,
+		Seed:       seed,
+		Plan:       s.plan,
+		ShardID:    fv.snap.Groups[gi].ID,
+		MyGroup:    gi,
+		Partitions: fv.view.Partitions,
+		Offset:     fv.view.Offset,
+		Part2Group: fv.view.Part2Group,
+		Stats:      fv.view.Stats,
+	})
+	if err != nil {
+		return err
+	}
+	gs.req = req
+	if want := shardReplySize(n, stride); cap(gs.body) < want {
+		gs.body = make([]byte, want)
+	}
+	if cap(gs.slots) < n {
+		gs.slots = make([]int32, n)
+	}
+	members := fv.clients[gi]
+	pref := fv.pref[gi]
+	if pref < 0 || pref >= len(members) {
+		pref = 0
+	}
+	var lastErr error
+	for try := 0; try < len(members); try++ {
+		mi := (pref + try) % len(members)
+		c := members[mi]
+		var sp trace.Span
+		var hdr http.Header
+		if tr := c.tracer; tr.Enabled() {
+			if parent := tr.Active(); parent.Valid() {
+				sp = tr.StartSpan(parent, "shard-sample-rpc")
+				hdr = http.Header{trace.HeaderName: []string{trace.FormatHeader(sp.Context())}}
+			}
+		}
+		body, err := c.doScratch(http.MethodPost, PathShardSample, "application/octet-stream", req, true, gs.body[:cap(gs.body)], hdr)
+		if err != nil {
+			sp.EndArg("error", 1)
+			lastErr = err
+			continue
+		}
+		if cap(body) > cap(gs.body) {
+			gs.body = body
+		}
+		k, rowBytes, err := decodeShardReply(body, n, stride, gs.slots[:n])
+		if err != nil {
+			sp.EndArg("error", 1)
+			lastErr = err
+			continue
+		}
+		sp.EndArg("rows", int64(k))
+		gs.k = k
+		if view := f64le.Floats(rowBytes); view != nil {
+			gs.view = view
+		} else {
+			if cap(gs.rows) < k*stride {
+				gs.rows = make([]float64, k*stride)
+			}
+			gs.rows = gs.rows[:k*stride]
+			f64le.Get(gs.rows, rowBytes)
+			gs.view = gs.rows
+		}
+		if mi != 0 {
+			// Member 0 is the group's primary; any other member serving
+			// the draw is a replica read.
+			s.f.replicaReads.Inc()
+		}
+		return nil
+	}
+	return fmt.Errorf("expserve: group %s: all %d members failed: %w", fv.snap.Groups[gi].ID, len(members), lastErr)
+}
+
+// merge reassembles the full batch from per-group slices by slot.
+// Ownership is disjoint by construction (each global index maps to
+// exactly one group), so the merge is a scatter; a gap or collision
+// means the shards disagreed about the view and the draw is invalid.
+func (s *ShardedSource) merge(sc *shardScratch, n, stride int) error {
+	covered := sc.covered[:n]
+	for i := range covered {
+		covered[i] = false
+	}
+	merged := sc.merged[:n*stride]
+	filled := 0
+	for gi := range sc.groups {
+		gs := &sc.groups[gi]
+		if gs.dead {
+			continue
+		}
+		for i := 0; i < gs.k; i++ {
+			slot := int(gs.slots[i])
+			if covered[slot] {
+				return fmt.Errorf("expserve: shards disagree: slot %d returned twice", slot)
+			}
+			covered[slot] = true
+			filled++
+			copy(merged[slot*stride:(slot+1)*stride], gs.view[i*stride:(i+1)*stride])
+		}
+	}
+	if filled != n {
+		return fmt.Errorf("expserve: shards disagree: %d of %d slots returned", filled, n)
+	}
+	return nil
+}
+
+func (s *ShardedSource) consumeFetch(st fetchState, n int, dst []*replay.AgentBatch) []int {
+	sc := st.(*shardScratch)
+	s.layout.SplitRows(sc.merged[:n*s.layout.Stride()], n, dst)
+	idx := make([]int, n)
+	copy(idx, sc.idx[:n])
+	return idx
+}
+
+// SampleBatch implements replay.TransitionSource: one fabric-wide
+// draw, merged and split into per-agent tensors.
+func (s *ShardedSource) SampleBatch(n int, seed int64, dst []*replay.AgentBatch) ([]int, error) {
+	sc := s.acquireFetch()
+	defer s.releaseFetch(sc)
+	if err := s.runFetch(n, seed, sc); err != nil {
+		return nil, err
+	}
+	return s.consumeFetch(sc, n, dst), nil
+}
+
+// ShardedSink fans replicated appends out across the fabric,
+// implementing replay.TransitionSink. Each row is routed by its
+// global stream index through the same time-striped placement the
+// sampler inverts, then appended to every replica member of the
+// owning group — R identical copies of the group's sub-stream, which
+// is what lets a reader fail over to any replica without index
+// translation.
+type ShardedSink struct {
+	f       *Fabric
+	actorID string
+	layout  replay.RowLayout
+	snap    *expshard.Snapshot
+	subs    [][]*RemoteSink // aligned with snap.Groups
+
+	// OnSpool/OnDrain observe spool diversions across all member
+	// sinks; set before EnableSpool.
+	OnSpool func(queued int, err error)
+	OnDrain func(batches int)
+
+	t uint64 // global stream index of the next row
+}
+
+// NewShardedSink builds one RemoteSink per fabric member, all
+// publishing as actorID.
+func NewShardedSink(f *Fabric, actorID string, spec replay.Spec) (*ShardedSink, error) {
+	snap, clients := f.topology()
+	subs := make([][]*RemoteSink, len(snap.Groups))
+	for gi := range snap.Groups {
+		subs[gi] = make([]*RemoteSink, len(clients[gi]))
+		for mi, c := range clients[gi] {
+			sink, err := NewRemoteSink(c, actorID, spec)
+			if err != nil {
+				return nil, err
+			}
+			subs[gi][mi] = sink
+		}
+	}
+	return &ShardedSink{f: f, actorID: actorID, layout: replay.NewRowLayout(spec), snap: snap, subs: subs}, nil
+}
+
+// SetMaxBatchRows sets the auto-flush threshold on every member sink.
+func (s *ShardedSink) SetMaxBatchRows(n int) {
+	for _, group := range s.subs {
+		for _, sub := range group {
+			sub.MaxBatchRows = n
+		}
+	}
+}
+
+// StreamPos returns the global stream index of the next row — the
+// time key the placement function stripes on.
+func (s *ShardedSink) StreamPos() uint64 { return s.t }
+
+// Add implements replay.TransitionSink: route the row to its owning
+// group and append it to every replica member.
+func (s *ShardedSink) Add(obs, act [][]float64, rew []float64, nextObs [][]float64, done []float64) error {
+	p := s.t % uint64(s.snap.Partitions)
+	gi := s.snap.Part2Group[p]
+	s.t++
+	var firstErr error
+	for _, sub := range s.subs[gi] {
+		if err := sub.Add(obs, act, rew, nextObs, done); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Flush implements replay.TransitionSink: flush every member sink,
+// fanning the frames out concurrently (each member is an independent
+// server; serializing the fan-out would make R and the group count a
+// latency multiplier). All sinks are flushed even when one fails (a
+// dead replica must not strand the live ones' rows); the first error
+// in group/member order is returned.
+func (s *ShardedSink) Flush() error {
+	var wg sync.WaitGroup
+	errs := make([][]error, len(s.subs))
+	for gi, group := range s.subs {
+		errs[gi] = make([]error, len(group))
+		for mi, sub := range group {
+			wg.Add(1)
+			go func(gi, mi int, sub *RemoteSink) {
+				defer wg.Done()
+				errs[gi][mi] = sub.Flush()
+			}(gi, mi, sub)
+		}
+	}
+	wg.Wait()
+	for _, group := range errs {
+		for _, err := range group {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EnableSpool arms per-member disk spooling under opts.Dir (one
+// subdirectory per member, so each replica's backlog drains
+// independently). OnSpool/OnDrain hooks set on the ShardedSink are
+// forwarded to every member sink.
+func (s *ShardedSink) EnableSpool(opts SpoolOptions) error {
+	for gi, group := range s.subs {
+		for mi, sub := range group {
+			sub.OnSpool = s.OnSpool
+			sub.OnDrain = s.OnDrain
+			memberOpts := opts
+			memberOpts.Dir = filepath.Join(opts.Dir, fmt.Sprintf("%s-m%d", s.snap.Groups[gi].ID, mi))
+			if err := sub.EnableSpool(memberOpts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SpoolLen returns the total spooled batch count across members.
+func (s *ShardedSink) SpoolLen() int {
+	n := 0
+	for _, group := range s.subs {
+		for _, sub := range group {
+			n += sub.SpoolLen()
+		}
+	}
+	return n
+}
+
+// DrainSpool drains every member's backlog; the first error is
+// returned but all members are attempted.
+func (s *ShardedSink) DrainSpool() error {
+	var firstErr error
+	for _, group := range s.subs {
+		for _, sub := range group {
+			if err := sub.DrainSpool(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// ResumeCursors fast-forwards each member sink past the append
+// sequence its server already applied (an actor restarting under the
+// same ID must not collide with its previous incarnation's stream).
+// Unreachable members are skipped — their spool (if armed) preserves
+// ordering, and the dedup cursor check happens server-side anyway.
+func (s *ShardedSink) ResumeCursors() {
+	snap, clients := s.snap, func() [][]*Client {
+		_, c := s.f.topology()
+		return c
+	}()
+	for gi := range snap.Groups {
+		for mi, sub := range s.subs[gi] {
+			if gi >= len(clients) || mi >= len(clients[gi]) {
+				continue
+			}
+			st, err := clients[gi][mi].ServiceStats()
+			if err != nil {
+				continue
+			}
+			if cursor, ok := st.Actors[s.actorID]; ok {
+				sub.SkipTo(cursor)
+			}
+		}
+	}
+}
+
+var (
+	_ replay.TransitionSource = (*ShardedSource)(nil)
+	_ Prefetchable            = (*ShardedSource)(nil)
+	_ replay.TransitionSink   = (*ShardedSink)(nil)
+)

@@ -1,0 +1,89 @@
+package expshard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzRebuildMembership drives a ring through an arbitrary join/leave
+// sequence and checks the structural invariants after every step:
+//
+//  1. every partition maps to a valid group;
+//  2. the installed snapshot is identical to a from-scratch build of
+//     the same member set (placement is history-free — the property
+//     that lets any process derive the map independently);
+//  3. each step moves only partitions owned by groups that joined or
+//     left in that step (consistent hashing).
+func FuzzRebuildMembership(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x83, 0x01})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x05, 0x85, 0x05, 0x85, 0x05})
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0x90, 0x91})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		present := map[string]bool{"seed": true}
+		ring, err := NewRing(mkGroups("seed"), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := ring.Snapshot()
+		for _, op := range ops {
+			id := fmt.Sprintf("g%02d", op&0x3f)
+			join := op&0x80 == 0
+			changed := map[string]bool{}
+			if join && !present[id] {
+				present[id] = true
+				changed[id] = true
+			} else if !join && present[id] && len(present) > 1 {
+				delete(present, id)
+				changed[id] = true
+			}
+			if len(changed) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(present))
+			for id := range present {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			snap, err := ring.Rebuild(mkGroups(ids...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// (1) all partitions mapped.
+			if len(snap.Part2Group) != snap.Partitions {
+				t.Fatalf("part2group len %d != %d", len(snap.Part2Group), snap.Partitions)
+			}
+			for p, g := range snap.Part2Group {
+				if g < 0 || g >= len(snap.Groups) {
+					t.Fatalf("partition %d → invalid group %d", p, g)
+				}
+			}
+			// (2) history-free: identical to a fresh build of this set.
+			fresh, err := BuildSnapshot(mkGroups(ids...), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(snap) != fingerprint(fresh) {
+				t.Fatalf("rebuilt snapshot differs from fresh build of the same set %v", ids)
+			}
+			// (3) minimal movement: a partition may change owner only
+			// if its old or new owner is in the changed set.
+			for p := range snap.Part2Group {
+				oldID := prev.Groups[prev.Part2Group[p]].ID
+				newID := snap.Groups[snap.Part2Group[p]].ID
+				if oldID != newID && !changed[oldID] && !changed[newID] {
+					t.Fatalf("partition %d moved %s→%s; neither joined nor left (changed=%v)",
+						p, oldID, newID, changed)
+				}
+			}
+			if snap.Version != prev.Version+1 {
+				t.Fatalf("version %d after %d", snap.Version, prev.Version)
+			}
+			prev = snap
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package expshard
+
+import "fmt"
+
+// GroupStat is one shard group's contribution to a stream view: how
+// many rows its (preferred live) member retains and how many it has
+// ever appended. Trim = Total - Rows is the count of retired rows at
+// the head of the group's sub-stream.
+type GroupStat struct {
+	Rows  uint64
+	Total uint64
+	Live  bool
+}
+
+// View is a frozen snapshot of the fabric's sampling state: the
+// placement function (partitions, stripe offset, partition→group map)
+// plus per-group row counts. The trainer builds one per update phase
+// and ships it verbatim inside every shard-sample request, so all
+// shards and the client execute the exact same pure mapping — that is
+// the determinism contract that makes the merged draw bit-identical
+// to a single store.
+//
+// Placement model: the row with producer stream index t lives in
+// partition (Offset+t) mod Partitions, owned by Part2Group[p]. Within
+// a group, rows appear in ascending t order, so the local index of row
+// t is the count of owned t' < t minus the group's trim. Both
+// directions are closed-form arithmetic; the inverse (global sample
+// index → t) needs a binary search only when trims or dead groups make
+// the live stream non-contiguous.
+type View struct {
+	Partitions int
+	Offset     uint64
+	Part2Group []int
+	Stats      []GroupStat
+
+	// Derived at construction.
+	owned    [][]int64 // per group: sorted residues a=(p-Offset) mod P for owned p
+	length   int64     // Σ live Rows
+	balanced bool      // exact fast path: all live, no trims, stats match striping
+	maxT     int64     // exclusive upper bound on live t values (general path)
+}
+
+// NewView validates and precomputes a view. It is deterministic: the
+// same inputs yield the same mapping in every process.
+func NewView(partitions int, offset uint64, part2group []int, stats []GroupStat) (*View, error) {
+	if partitions <= 0 || partitions > MaxPartitions {
+		return nil, fmt.Errorf("expshard: bad partition count %d", partitions)
+	}
+	if len(part2group) != partitions {
+		return nil, fmt.Errorf("expshard: part2group len %d != partitions %d", len(part2group), partitions)
+	}
+	if len(stats) == 0 || len(stats) > MaxGroups {
+		return nil, fmt.Errorf("expshard: bad group count %d", len(stats))
+	}
+	v := &View{
+		Partitions: partitions,
+		Offset:     offset % uint64(partitions),
+		Part2Group: part2group,
+		Stats:      stats,
+	}
+	v.owned = make([][]int64, len(stats))
+	for p, g := range part2group {
+		if g < 0 || g >= len(stats) {
+			return nil, fmt.Errorf("expshard: partition %d maps to invalid group %d", p, g)
+		}
+		a := (int64(p) - int64(v.Offset) + int64(partitions)) % int64(partitions)
+		v.owned[g] = append(v.owned[g], a)
+	}
+	for g := range v.owned {
+		// Residues were appended in ascending p order; with a fixed
+		// offset shift they may wrap, so sort to restore order.
+		insertionSortInt64(v.owned[g])
+	}
+	allLive, trimsZero := true, true
+	for g, st := range stats {
+		if st.Rows > st.Total {
+			return nil, fmt.Errorf("expshard: group %d rows %d > total %d", g, st.Rows, st.Total)
+		}
+		if !st.Live {
+			allLive = false
+			continue
+		}
+		v.length += int64(st.Rows)
+		if st.Rows != st.Total {
+			trimsZero = false
+		}
+		if tu := v.tUpper(g); tu > v.maxT {
+			v.maxT = tu
+		}
+	}
+	if allLive && trimsZero {
+		v.balanced = true
+		for g, st := range stats {
+			if v.ownedCountBefore(v.length, g) != int64(st.Total) {
+				v.balanced = false
+				break
+			}
+		}
+	}
+	return v, nil
+}
+
+func insertionSortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Len returns the number of live sampleable rows: the length argument
+// every shard passes to SamplePlan.FillIndices.
+func (v *View) Len() int64 { return v.length }
+
+// NumLive returns how many groups are marked live.
+func (v *View) NumLive() int {
+	n := 0
+	for _, st := range v.Stats {
+		if st.Live {
+			n++
+		}
+	}
+	return n
+}
+
+// Balanced reports whether the exact fast path holds: every group
+// live, no trims, and per-group totals exactly matching time-striped
+// placement of a single contiguous stream. This is the regime of the
+// bit-identity proof; outside it sampling stays correct but clamps
+// placement mismatches (see Map).
+func (v *View) Balanced() bool { return v.balanced }
+
+// ownedCountBefore counts owned stream indices t' < t for group g:
+// t' ≡ a (mod P) for each owned residue a. Closed form: q full stripe
+// cycles contribute q·k, plus the residues below t mod P.
+func (v *View) ownedCountBefore(t int64, g int) int64 {
+	if t <= 0 {
+		return 0
+	}
+	res := v.owned[g]
+	if len(res) == 0 {
+		return 0
+	}
+	p := int64(v.Partitions)
+	q, r := t/p, t%p
+	n := q * int64(len(res))
+	// res is sorted: count entries < r.
+	lo, hi := 0, len(res)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if res[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return n + int64(lo)
+}
+
+// tUpper returns an exclusive upper bound on stream indices held by
+// group g: the t of its (Total-1)-th owned slot, plus one.
+func (v *View) tUpper(g int) int64 {
+	total := int64(v.Stats[g].Total)
+	if total == 0 || len(v.owned[g]) == 0 {
+		return 0
+	}
+	k := int64(len(v.owned[g]))
+	q, r := (total-1)/k, (total-1)%k
+	return q*int64(v.Partitions) + v.owned[g][r] + 1
+}
+
+// rank counts live retained rows with stream index < t.
+func (v *View) rank(t int64) int64 {
+	var n int64
+	for g, st := range v.Stats {
+		if !st.Live {
+			continue
+		}
+		c := v.ownedCountBefore(t, g)
+		if tot := int64(st.Total); c > tot {
+			c = tot
+		}
+		c -= int64(st.Total) - int64(st.Rows) // subtract trim
+		if c > 0 {
+			n += c
+		}
+	}
+	return n
+}
+
+// Map resolves global sample index i (0 ≤ i < Len()) to the owning
+// group and the row's local index on that group's live member.
+// Clamped reports that striped-placement arithmetic overshot the
+// group's actual row count (multi-producer rounding or a restarted
+// producer counter) and the local index was wrapped mod Rows — a
+// documented approximation outside the balanced regime.
+func (v *View) Map(i int64) (group int, local int64, clamped bool) {
+	if v.balanced {
+		// Exact: the live stream is contiguous, t = i.
+		p := (int64(v.Offset) + i) % int64(v.Partitions)
+		g := v.Part2Group[p]
+		return g, v.ownedCountBefore(i, g), false
+	}
+	// General path: binary search the smallest t whose cumulative live
+	// retained count reaches i+1; that t is live-owned by construction.
+	lo, hi := int64(0), v.maxT
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if v.rank(mid+1) >= i+1 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	t := lo
+	p := (int64(v.Offset) + t) % int64(v.Partitions)
+	g := v.Part2Group[p]
+	st := v.Stats[g]
+	local = v.ownedCountBefore(t, g) - (int64(st.Total) - int64(st.Rows))
+	if local < 0 {
+		local, clamped = 0, true
+	}
+	if rows := int64(st.Rows); local >= rows && rows > 0 {
+		local, clamped = local%rows, true
+	}
+	return g, local, clamped
+}
+
+// WithDead returns a copy of the view with group g marked dead, for
+// the skip-and-reweight degraded-read path: the caller recomputes its
+// draw over the shrunken Len so the remaining groups' rows reweight
+// to a full batch. Derived state is rebuilt.
+func (v *View) WithDead(g int) (*View, error) {
+	if g < 0 || g >= len(v.Stats) {
+		return nil, fmt.Errorf("expshard: invalid group %d", g)
+	}
+	stats := make([]GroupStat, len(v.Stats))
+	copy(stats, v.Stats)
+	stats[g].Live = false
+	return NewView(v.Partitions, v.Offset, v.Part2Group, stats)
+}

@@ -1,0 +1,245 @@
+package expshard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simGroup brute-force-simulates one group's store: the stream indices
+// it holds, in arrival order, after trimming.
+type simGroup struct {
+	ts   []int64 // retained stream indices, ascending
+	trim int64
+}
+
+// simulate streams T rows through the placement function and applies
+// per-group trims, returning the per-group retained substreams plus
+// the flat (t, group, local) triples of all live retained rows in
+// ascending t order — exactly what Map must reproduce.
+func simulate(part2group []int, partitions int, offset uint64, T int64, trims []int64, live []bool) ([]GroupStat, []simGroup, [][3]int64) {
+	groups := len(trims)
+	sims := make([]simGroup, groups)
+	totals := make([]int64, groups)
+	for t := int64(0); t < T; t++ {
+		p := (int64(offset) + t) % int64(partitions)
+		g := part2group[p]
+		sims[g].ts = append(sims[g].ts, t)
+		totals[g]++
+	}
+	stats := make([]GroupStat, groups)
+	var flat [][3]int64
+	for g := range sims {
+		sims[g].trim = trims[g]
+		sims[g].ts = sims[g].ts[trims[g]:]
+		stats[g] = GroupStat{Rows: uint64(len(sims[g].ts)), Total: uint64(totals[g]), Live: live[g]}
+	}
+	// Live retained rows in ascending t order, with their local index.
+	type row struct{ t, g, local int64 }
+	var rows []row
+	for g := range sims {
+		if !live[g] {
+			continue
+		}
+		for i, t := range sims[g].ts {
+			rows = append(rows, row{t, int64(g), int64(i)})
+		}
+	}
+	// Sort by t (insertion: small sizes).
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j-1].t > rows[j].t; j-- {
+			rows[j-1], rows[j] = rows[j], rows[j-1]
+		}
+	}
+	for _, r := range rows {
+		flat = append(flat, [3]int64{r.t, r.g, r.local})
+	}
+	return stats, sims, flat
+}
+
+func checkViewAgainstSim(t *testing.T, partitions int, offset uint64, part2group []int, stats []GroupStat, flat [][3]int64, wantBalanced bool) {
+	t.Helper()
+	v, err := NewView(partitions, offset, part2group, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != int64(len(flat)) {
+		t.Fatalf("Len()=%d, sim has %d live rows", v.Len(), len(flat))
+	}
+	if v.Balanced() != wantBalanced {
+		t.Fatalf("Balanced()=%v, want %v", v.Balanced(), wantBalanced)
+	}
+	for i, want := range flat {
+		g, local, clamped := v.Map(int64(i))
+		if clamped {
+			t.Fatalf("Map(%d) clamped on consistent stats", i)
+		}
+		if int64(g) != want[1] || local != want[2] {
+			t.Fatalf("Map(%d) = (g=%d, local=%d), sim says (g=%d, local=%d) for t=%d",
+				i, g, local, want[1], want[2], want[0])
+		}
+	}
+}
+
+func buildMap(t *testing.T, n, partitions int) []int {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "shard-" + string(rune('a'+i))
+	}
+	s, err := BuildSnapshot(mkGroups(ids...), partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Part2Group
+}
+
+func TestViewMapBalanced(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		for _, offset := range []uint64{0, 7} {
+			p2g := buildMap(t, n, 32)
+			trims := make([]int64, n)
+			live := make([]bool, n)
+			for i := range live {
+				live[i] = true
+			}
+			stats, _, flat := simulate(p2g, 32, offset, 229, trims, live)
+			checkViewAgainstSim(t, 32, offset, p2g, stats, flat, true)
+		}
+	}
+}
+
+func TestViewMapWithTrims(t *testing.T) {
+	n := 3
+	p2g := buildMap(t, n, 32)
+	live := []bool{true, true, true}
+	trims := []int64{5, 0, 11}
+	stats, _, flat := simulate(p2g, 32, 0, 300, trims, live)
+	checkViewAgainstSim(t, 32, 0, p2g, stats, flat, false)
+}
+
+func TestViewMapWithDeadGroup(t *testing.T) {
+	n := 4
+	p2g := buildMap(t, n, 64)
+	live := []bool{true, false, true, true}
+	trims := make([]int64, n)
+	stats, _, flat := simulate(p2g, 64, 0, 500, trims, live)
+	checkViewAgainstSim(t, 64, 0, p2g, stats, flat, false)
+}
+
+func TestViewMapTrimsAndDead(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		partitions := []int{16, 32, 64}[rng.Intn(3)]
+		p2g := buildMap(t, n, partitions)
+		T := int64(50 + rng.Intn(400))
+		trims := make([]int64, n)
+		live := make([]bool, n)
+		anyLive := false
+		for g := 0; g < n; g++ {
+			live[g] = rng.Intn(4) != 0
+			anyLive = anyLive || live[g]
+			trims[g] = int64(rng.Intn(10))
+		}
+		if !anyLive {
+			live[0] = true
+		}
+		offset := uint64(rng.Intn(partitions))
+		allLive, allZero := true, true
+		for g := 0; g < n; g++ {
+			allLive = allLive && live[g]
+			allZero = allZero && trims[g] == 0
+		}
+		// Trims larger than a group's total would make the sim slice
+		// out of range; skip those draws.
+		probe, _, _ := simulate(p2g, partitions, offset, T, make([]int64, n), live)
+		ok := true
+		for g := range probe {
+			if trims[g] > int64(probe[g].Total) {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		stats, _, flat := simulate(p2g, partitions, offset, T, trims, live)
+		if len(flat) == 0 {
+			continue
+		}
+		checkViewAgainstSim(t, partitions, offset, p2g, stats, flat, allLive && allZero)
+	}
+}
+
+// Inconsistent stats (rows not matching striped placement — e.g. a
+// producer whose counter restarted) must degrade to clamping, never
+// out-of-range locals or panics.
+func TestViewMapClampsOnPlacementMismatch(t *testing.T) {
+	p2g := buildMap(t, 2, 16)
+	stats := []GroupStat{
+		{Rows: 100, Total: 100, Live: true},
+		{Rows: 3, Total: 3, Live: true}, // far fewer than striping implies
+	}
+	v, err := NewView(16, 0, p2g, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Balanced() {
+		t.Fatal("mismatched stats reported balanced")
+	}
+	for i := int64(0); i < v.Len(); i++ {
+		g, local, _ := v.Map(i)
+		if local < 0 || local >= int64(stats[g].Rows) {
+			t.Fatalf("Map(%d): local %d out of range for group %d (rows %d)", i, local, g, stats[g].Rows)
+		}
+	}
+}
+
+func TestViewWithDead(t *testing.T) {
+	p2g := buildMap(t, 3, 32)
+	live := []bool{true, true, true}
+	stats, _, _ := simulate(p2g, 32, 0, 200, make([]int64, 3), live)
+	v, err := NewView(32, 0, p2g, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := v.WithDead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := v.Len() - int64(stats[1].Rows); dead.Len() != want {
+		t.Fatalf("WithDead Len %d, want %d", dead.Len(), want)
+	}
+	if dead.NumLive() != 2 {
+		t.Fatalf("NumLive %d", dead.NumLive())
+	}
+	// All indices must now resolve to live groups only.
+	for i := int64(0); i < dead.Len(); i++ {
+		g, _, _ := dead.Map(i)
+		if g == 1 {
+			t.Fatalf("Map(%d) resolved to dead group", i)
+		}
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	p2g := buildMap(t, 2, 16)
+	good := []GroupStat{{Rows: 1, Total: 1, Live: true}, {Rows: 1, Total: 1, Live: true}}
+	if _, err := NewView(0, 0, nil, good); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := NewView(16, 0, p2g[:8], good); err == nil {
+		t.Error("short part2group accepted")
+	}
+	if _, err := NewView(16, 0, p2g, nil); err == nil {
+		t.Error("no groups accepted")
+	}
+	bad := []GroupStat{{Rows: 5, Total: 3, Live: true}, {Rows: 1, Total: 1, Live: true}}
+	if _, err := NewView(16, 0, p2g, bad); err == nil {
+		t.Error("rows > total accepted")
+	}
+	p2gBad := make([]int, 16)
+	p2gBad[3] = 9
+	if _, err := NewView(16, 0, p2gBad, good); err == nil {
+		t.Error("out-of-range group index accepted")
+	}
+}

@@ -390,12 +390,13 @@ func (s *Store) GatherEncodeLE(indices []int, dst []byte) {
 
 // Stats is a point-in-time snapshot of store occupancy.
 type Stats struct {
-	Rows     int    `json:"rows"`      // sampleable rows in the ring window
-	Total    uint64 `json:"total"`     // rows ever appended
-	Base     uint64 `json:"base"`      // global seq of sampleable index 0
-	Segments int    `json:"segments"`  // on-disk segments (sealed + active)
-	Stride   int    `json:"stride"`    // float64s per row
-	DiskRows int    `json:"disk_rows"` // rows currently held by on-disk segments
+	Rows     int    `json:"rows"`            // sampleable rows in the ring window
+	Total    uint64 `json:"total"`           // rows ever appended
+	Base     uint64 `json:"base"`            // global seq of sampleable index 0
+	Segments int    `json:"segments"`        // on-disk segments (sealed + active)
+	Stride   int    `json:"stride"`          // float64s per row
+	DiskRows int    `json:"disk_rows"`       // rows currently held by on-disk segments
+	Shard    string `json:"shard,omitempty"` // shard id when serving inside a replay fabric
 }
 
 // Stats returns current occupancy counters.

@@ -20,8 +20,17 @@
 #   - no spooled batches are left behind;
 #   - both daemons exit 0 on SIGTERM (graceful drain).
 #
+# Cell 2 then runs the sharded-fabric chaos case: 2 shard groups × R=2
+# (four marl-replayds), an open-ended actor and a learner routing over
+# the fabric spec. Group 0's primary member is SIGKILLed mid-ingest and
+# restarted. Asserts the learner completes with replica_reads > 0 (the
+# degraded-read path actually served draws from the surviving replica),
+# both members of each group end with identical row totals, the groups
+# together hold every produced transition (zero loss at R=2), no spooled
+# batches remain, and all four members exit 0 on SIGTERM.
+#
 # Ports/dirs/durations are overridable via REPLAY_PORT / POLICY_PORT /
-# OUT / CHAOS_PARTITION_SECS / CHAOS_SEED.
+# SHARD_PORT_BASE / OUT / CHAOS_PARTITION_SECS / CHAOS_SEED.
 set -euo pipefail
 
 # Re-exec as a process-group leader so the EXIT trap can take down every
@@ -187,5 +196,123 @@ for name in replayd policyd; do
   [ "$rc" = 0 ] || fail "marl-$name exited $rc on SIGTERM, want 0"
   echo "marl-$name drained and exited 0"
 done
+
+########################################################################
+# Cell 2 — sharded replay fabric: 2 shard groups × R=2 replicas (four
+# marl-replayds), one open-ended actor and a learner routing the fabric
+# spec. SIGKILL group 0's primary member mid-ingest, restart it on the
+# same segment directory, and prove the kill cost nothing: the learner
+# rides through on the surviving replica and at R=2 every row survives.
+SHARD_PORT_BASE=${SHARD_PORT_BASE:-19320}
+SP0=$SHARD_PORT_BASE SP1=$((SHARD_PORT_BASE + 1))
+SP2=$((SHARD_PORT_BASE + 2)) SP3=$((SHARD_PORT_BASE + 3))
+FABRIC="127.0.0.1:$SP0|127.0.0.1:$SP1,127.0.0.1:$SP2|127.0.0.1:$SP3"
+
+echo "cell 2: starting the 2-shard R=2 fabric ($FABRIC)"
+declare -A SHARD_PID
+start_shard() { # port group-index member-index
+  "$BIN/marl-replayd" -addr "127.0.0.1:$1" -dir "$OUT/shard-$2-m$3" -env cn -agents 3 \
+    -shard-id "shard-$2" -ring "$FABRIC" >>"$OUT/shard-$2-m$3.log" 2>&1 &
+  SHARD_PID[$1]=$!
+  pids+=("${SHARD_PID[$1]}")
+}
+start_shard "$SP0" 0 0
+start_shard "$SP1" 0 1
+start_shard "$SP2" 1 0
+start_shard "$SP3" 1 1
+for p in "$SP0" "$SP1" "$SP2" "$SP3"; do wait_health "127.0.0.1:$p"; done
+
+# Open-ended actor fanning replicated appends across the fabric, with a
+# disk spool so the killed member's copies survive its downtime.
+"$BIN/marl-actor" -replay-addr "$FABRIC" \
+  -env cn -agents 3 -actor-id shard-actor -envs 4 -episodes 0 -seed 11 \
+  -batch-rows 64 -spool-dir "$OUT/spool-shard-actor" >"$OUT/shard-actor.log" 2>&1 &
+SA=$!
+pids+=("$SA")
+
+echo "cell 2: running learner over the fabric"
+"$BIN/marl-train" -replay-addr "$FABRIC" -replay-retry 2m \
+  -spool-dir "$OUT/spool-shard-learner" \
+  -env cn -agents 3 -episodes 2000 -batch 64 -log-every 10 \
+  >"$OUT/shard-learner.log" 2>&1 &
+SLEARNER=$!
+pids+=("$SLEARNER")
+
+# Fire the kill when the learner is demonstrably mid-run (≥ episode 100
+# logged) rather than on a wall-clock guess: the kill must land while
+# updates are still drawing, or the replica-failover assertion below is
+# vacuous. 2000 episodes leaves a wide margin for the learner to still
+# be training when the member comes back.
+learner_ep() { sed -n 's/^episode *\([0-9]*\) .*/\1/p' "$OUT/shard-learner.log" | tail -n 1; }
+ep=0
+for _ in $(seq 1 300); do
+  ep=$(learner_ep)
+  [ "${ep:-0}" -ge 100 ] && break
+  sleep 0.2
+done
+[ "${ep:-0}" -ge 100 ] || fail "shard-cell learner never reached episode 100"
+
+echo "chaos: SIGKILLing shard-0 member 0 mid-ingest (learner at episode $ep)"
+kill -KILL "${SHARD_PID[$SP0]}"
+wait "${SHARD_PID[$SP0]}" 2>/dev/null || true
+sleep 2
+echo "chaos: restarting shard-0 member 0 on the same segment directory"
+start_shard "$SP0" 0 0
+wait_health "127.0.0.1:$SP0"
+
+# The learner must finish all episodes and exit 0 despite the dead
+# member: draws fail over to the surviving replica without a stall.
+rc=0; wait "$SLEARNER" || rc=$?
+[ "$rc" = 0 ] || fail "shard-cell learner exited $rc"
+
+kill -TERM "$SA" 2>/dev/null || true
+rc=0; wait "$SA" || rc=$?
+if [ "$rc" != 0 ] && [ "$rc" != 3 ]; then
+  fail "shard-cell actor exited $rc"
+fi
+
+# The degraded-read path must actually have fired: with the preferred
+# member down, the learner's draws were served by the surviving replica.
+fab=$(grep 'shard fabric: replica_reads=' "$OUT/shard-learner.log" | tail -n 1)
+[ -n "$fab" ] || fail "shard-cell learner log has no shard-fabric counter line"
+replica_reads=$(printf '%s' "$fab" | sed -n 's/.*replica_reads=\([0-9]*\).*/\1/p')
+[ "${replica_reads:-0}" -gt 0 ] || fail "no replica reads despite the member kill: $fab"
+echo "cell 2: $fab"
+
+# Zero row loss at R=2: once the spools drain, both members of each
+# group hold identical totals (the restarted member recovered its
+# segments and received the spooled backlog), and the two groups
+# together hold every transition the actor and the learner produced.
+produced=$(sed -n 's/^done: [0-9]* episodes, \([0-9]*\) transitions published.*/\1/p' "$OUT/shard-actor.log" | tail -n 1)
+[ -n "$produced" ] || fail "shard-actor log has no completion line"
+learner_rows=$(sed -n 's/.*(\([0-9]*\) env steps.*/\1/p' "$OUT/shard-learner.log" | tail -n 1)
+[ -n "$learner_rows" ] || fail "shard-cell learner log has no env-step count"
+produced=$((produced + learner_rows))
+
+member_total() {
+  curl -sf "http://127.0.0.1:$1/v1/stats" | sed -n 's/.*"total":\([0-9]*\).*/\1/p'
+}
+t00=$(member_total "$SP0"); t01=$(member_total "$SP1")
+t10=$(member_total "$SP2"); t11=$(member_total "$SP3")
+for t in "$t00" "$t01" "$t10" "$t11"; do
+  [ -n "$t" ] || fail "a shard member returned no row total from /v1/stats"
+done
+[ "$t00" = "$t01" ] || fail "shard-0 replicas diverge: m0=$t00 m1=$t01"
+[ "$t10" = "$t11" ] || fail "shard-1 replicas diverge: m0=$t10 m1=$t11"
+if [ $((t00 + t10)) != "$produced" ]; then
+  fail "shard row loss or duplication: shard-0=$t00 + shard-1=$t10 != $produced produced"
+fi
+echo "cell 2: zero row loss at R=2: $t00 + $t10 == $produced produced (replicas identical)"
+
+leftover=$(find "$OUT"/spool-shard-* -name 'spool-*.xpb' 2>/dev/null | wc -l)
+[ "$leftover" = 0 ] || fail "$leftover shard-cell spooled batch(es) left behind"
+
+# All four members drain and exit 0 on SIGTERM.
+for p in "$SP0" "$SP1" "$SP2" "$SP3"; do
+  kill -TERM "${SHARD_PID[$p]}"
+  rc=0; wait "${SHARD_PID[$p]}" || rc=$?
+  [ "$rc" = 0 ] || fail "shard member on port $p exited $rc on SIGTERM, want 0"
+done
+echo "cell 2: all four shard members drained and exited 0"
 
 echo "chaos smoke OK (logs in $OUT)"

@@ -19,6 +19,13 @@
 # ACTOR1_METRICS_PORT / OUT; the stitch-width gate via REQUIRE_PROCS (how
 # many distinct processes one merged trace must span), so other topologies
 # (e.g. the serving smoke) can reuse the merge gate at their own width.
+#
+# REQUIRE_PROCS also sizes the replay tier: the loop always has four
+# non-replayd processes (policyd, two actors, the learner), so a gate
+# wider than 5 needs REQUIRE_PROCS-4 replayd shards — the actors and
+# learner then route a sharded fabric spec (R=1 groups) and one learner
+# update's sample fan-out must stitch through every shard. REQUIRE_PROCS=6
+# is the two-shard topology: six processes, one trace through both shards.
 set -euo pipefail
 
 # Re-exec as a process-group leader so the EXIT trap can take down every
@@ -35,6 +42,9 @@ POLICY_PORT=${POLICY_PORT:-19400}
 ACTOR0_METRICS_PORT=${ACTOR0_METRICS_PORT:-19500}
 ACTOR1_METRICS_PORT=${ACTOR1_METRICS_PORT:-19501}
 REQUIRE_PROCS=${REQUIRE_PROCS:-4}
+# The non-replayd processes number four; a stitch gate wider than five
+# can only be met by adding replayd shards.
+SHARDS=$((REQUIRE_PROCS > 5 ? REQUIRE_PROCS - 4 : 1))
 OUT=${OUT:-$(mktemp -d)}
 BIN="$OUT/bin"
 mkdir -p "$BIN"
@@ -68,23 +78,37 @@ wait_health() {
   return 1
 }
 
-"$BIN/marl-replayd" -addr "127.0.0.1:$REPLAY_PORT" -dir "$OUT/replay" -env cn -agents 3 \
-  -trace >"$OUT/replayd.log" 2>&1 &
-pids+=($!)
+# One replayd per shard. At SHARDS=1 the fabric spec degenerates to the
+# plain single-endpoint address and -shard-id/-ring are omitted; at
+# SHARDS>1 the actors and learner route a comma-separated R=1 fabric and
+# every replayd validates its own membership against the ring.
+REPLAY_ADDR="127.0.0.1:$REPLAY_PORT"
+for ((i = 1; i < SHARDS; i++)); do
+  REPLAY_ADDR="$REPLAY_ADDR,127.0.0.1:$((REPLAY_PORT + i))"
+done
+for ((i = 0; i < SHARDS; i++)); do
+  shard_flags=()
+  if [ "$SHARDS" -gt 1 ]; then
+    shard_flags=(-shard-id "shard-$i" -ring "$REPLAY_ADDR")
+  fi
+  "$BIN/marl-replayd" -addr "127.0.0.1:$((REPLAY_PORT + i))" -dir "$OUT/replay-$i" \
+    -env cn -agents 3 -trace "${shard_flags[@]}" >"$OUT/replayd$i.log" 2>&1 &
+  pids+=($!)
+done
 "$BIN/marl-policyd" -addr "127.0.0.1:$POLICY_PORT" -trace >"$OUT/policyd.log" 2>&1 &
 pids+=($!)
-wait_health "127.0.0.1:$REPLAY_PORT"
+for ((i = 0; i < SHARDS; i++)); do wait_health "127.0.0.1:$((REPLAY_PORT + i))"; done
 wait_health "127.0.0.1:$POLICY_PORT"
 
 # Open-ended actors (-episodes 0): 4 envs each over disjoint global env
 # indices, syncing every 5 engine steps; SIGTERMed once the learner is done.
-"$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+"$BIN/marl-actor" -replay-addr "$REPLAY_ADDR" -policy-addr "127.0.0.1:$POLICY_PORT" \
   -env cn -agents 3 -actor-id actor-0 -envs 4 -first-env 0 -sync-every 5 \
   -episodes 0 -seed 7 -batch-rows 64 -policy-wait 60s \
   -trace -trace-sample 8 -metrics-addr "127.0.0.1:$ACTOR0_METRICS_PORT" >"$OUT/actor0.log" 2>&1 &
 A0=$!
 pids+=("$A0")
-"$BIN/marl-actor" -replay-addr "127.0.0.1:$REPLAY_PORT" -policy-addr "127.0.0.1:$POLICY_PORT" \
+"$BIN/marl-actor" -replay-addr "$REPLAY_ADDR" -policy-addr "127.0.0.1:$POLICY_PORT" \
   -env cn -agents 3 -actor-id actor-1 -envs 4 -first-env 4 -sync-every 5 \
   -episodes 0 -seed 8 -batch-rows 64 -policy-wait 60s \
   -trace -trace-sample 8 -metrics-addr "127.0.0.1:$ACTOR1_METRICS_PORT" >"$OUT/actor1.log" 2>&1 &
@@ -92,7 +116,7 @@ A1=$!
 pids+=("$A1")
 
 echo "running learner"
-"$BIN/marl-train" -replay-addr "127.0.0.1:$REPLAY_PORT" \
+"$BIN/marl-train" -replay-addr "$REPLAY_ADDR" \
   -policy-publish-addr "127.0.0.1:$POLICY_PORT" -policy-publish-every 2 \
   -env cn -agents 3 -episodes 40 -batch 64 -log-every 10 \
   -trace -trace-sample 1 -trace-buf 262144 \
@@ -101,8 +125,9 @@ echo "running learner"
 
 # Capture the daemons' and actors' span rings while everything but the
 # learner is still up; the learner's own spans were written at its exit.
-for cap in "replayd:$REPLAY_PORT" "policyd:$POLICY_PORT" \
-  "actor0:$ACTOR0_METRICS_PORT" "actor1:$ACTOR1_METRICS_PORT"; do
+caps=("policyd:$POLICY_PORT" "actor0:$ACTOR0_METRICS_PORT" "actor1:$ACTOR1_METRICS_PORT")
+for ((i = 0; i < SHARDS; i++)); do caps+=("replayd$i:$((REPLAY_PORT + i))"); done
+for cap in "${caps[@]}"; do
   name=${cap%%:*} port=${cap##*:}
   curl -sf "http://127.0.0.1:$port/tracez" >"$OUT/$name-tracez.json" \
     || { echo "FAIL: capturing /tracez from $name" >&2; exit 1; }
@@ -134,22 +159,29 @@ version=$(printf '%s' "$stats" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')
 [ "${version:-0}" -ge 2 ] || fail "policyd served version $version, want ≥ 2"
 echo "policyd served $version versions"
 
-metrics=$(curl -sf "http://127.0.0.1:$REPLAY_PORT/metrics")
-echo "$metrics" | grep '^marl_exp_ingest_rows_total' | awk '{exit !($2 > 0)}' \
-  || fail "experience service ingested no rows"
-echo "$metrics" | grep '^marl_exp_sample_requests_total' | awk '{exit !($2 > 0)}' \
-  || fail "learner never sampled from the experience service"
+# Every shard must have taken both sides of the loop: the time-striped
+# placement routes appends to all shards and the learner's sample plan
+# fans a sub-query to each.
+for ((i = 0; i < SHARDS; i++)); do
+  metrics=$(curl -sf "http://127.0.0.1:$((REPLAY_PORT + i))/metrics")
+  echo "$metrics" | grep '^marl_exp_ingest_rows_total' | awk '{exit !($2 > 0)}' \
+    || fail "experience shard $i ingested no rows"
+  echo "$metrics" | grep '^marl_exp_sample_requests_total' | awk '{exit !($2 > 0)}' \
+    || fail "learner never sampled from experience shard $i"
+done
 
-# Merge the five captures into one Chrome trace and gate on the loop's
+# Merge all the captures into one Chrome trace and gate on the loop's
 # end-to-end observability: at least one trace must stitch across
-# ≥REQUIRE_PROCS of the five processes (learner update → replayd sample → policyd publish →
-# actor hot-swap), and the learner's phase-span sums must agree with its
-# profiler totals within 5% (full-rate sampling makes that exact enough).
+# ≥REQUIRE_PROCS processes (learner update → per-shard replayd sample →
+# policyd publish → actor hot-swap), and the learner's phase-span sums
+# must agree with its profiler totals within 5% (full-rate sampling
+# makes that exact enough).
+capture_files=("$OUT/learner-trace.json")
+for cap in "${caps[@]}"; do capture_files+=("$OUT/${cap%%:*}-tracez.json"); done
 echo "merging traces"
 "$BIN/marl-trace" -o "$OUT/merged-trace.json" -require-procs "$REQUIRE_PROCS" \
   -profilez "$OUT/learner-profile.json" -tolerance 0.05 \
-  "$OUT/learner-trace.json" "$OUT/replayd-tracez.json" "$OUT/policyd-tracez.json" \
-  "$OUT/actor0-tracez.json" "$OUT/actor1-tracez.json" \
+  "${capture_files[@]}" \
   | tee "$OUT/trace-report.txt" || fail "trace merge/gates (see $OUT/trace-report.txt)"
 [ -s "$OUT/merged-trace.json" ] || fail "merged trace JSON is empty"
 
